@@ -1,0 +1,30 @@
+# Convenience targets for the gdr-shmem reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/overlap_demo.py
+	$(PYTHON) examples/protocol_explorer.py
+	$(PYTHON) examples/irregular_workload.py
+	$(PYTHON) examples/upc_demo.py
+	$(PYTHON) examples/stencil2d_demo.py
+	$(PYTHON) examples/lbm_demo.py
+
+experiments:
+	$(PYTHON) -m repro run all --quick
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

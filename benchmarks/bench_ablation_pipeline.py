@@ -1,0 +1,45 @@
+"""Ablation — pipeline chunk size and depth for the staged protocols."""
+
+from conftest import run_and_archive
+from repro.bench.latency import latency_sweep
+from repro.hardware import wilkes_params
+from repro.reporting.format import format_table
+from repro.shmem import Domain
+from repro.units import KiB, MiB
+
+
+def run_chunk_ablation() -> str:
+    rows = []
+    for chunk in (64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB):
+        for depth in (1, 2, 4, 8):
+            params = wilkes_params().tuned(pipeline_chunk=chunk, pipeline_depth=depth)
+            usec = latency_sweep(
+                "enhanced-gdr", "put", Domain.GPU, Domain.GPU, [4 * MiB], params=params
+            )[0].usec
+            rows.append([f"{chunk // 1024} KB", str(depth), f"{usec:.0f}"])
+    return format_table(
+        ["chunk", "depth", "4 MB D-D put (usec)"],
+        rows,
+        title="Ablation — Pipeline-GDR-write chunk size / depth",
+    )
+
+
+def test_chunk_ablation(benchmark):
+    run_and_archive(benchmark, "ablation_pipeline", run_chunk_ablation)
+
+
+def test_depth_one_serializes():
+    """Depth 1 removes the stage overlap and must be slower."""
+    shallow = wilkes_params().tuned(pipeline_depth=1)
+    deep = wilkes_params().tuned(pipeline_depth=4)
+    t1 = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [4 * MiB], params=shallow)[0].usec
+    t4 = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [4 * MiB], params=deep)[0].usec
+    assert t4 < t1
+
+
+def test_tiny_chunks_pay_overhead():
+    tiny = wilkes_params().tuned(pipeline_chunk=16 * KiB)
+    base = wilkes_params()
+    t_tiny = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [4 * MiB], params=tiny)[0].usec
+    t_base = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [4 * MiB], params=base)[0].usec
+    assert t_base < t_tiny  # per-chunk cudaMemcpy overhead dominates

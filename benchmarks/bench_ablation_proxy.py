@@ -1,0 +1,62 @@
+"""Ablation — what does the proxy framework (Fig 5) buy?
+
+The `enhanced-gdr-noproxy` design is the proposed runtime with every
+proxy route replaced by Direct GDR.  Large gets from remote GPUs then
+stream at the raw P2P-read rate (3,421 MB/s intra-socket, 247 MB/s
+inter-socket) instead of the proxy's staged pipeline.
+"""
+
+from conftest import run_and_archive
+from repro.bench.latency import latency_sweep
+from repro.hardware import NodeConfig
+from repro.reporting.format import format_series
+from repro.shmem import Domain
+from repro.units import KiB, MiB
+
+SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
+SKEWED = NodeConfig(gpus=2, hcas=2, gpu_sockets=[0, 1], hca_sockets=[0, 0])
+
+
+def run_proxy_ablation() -> str:
+    out = []
+    for label, node_cfg in (("intra-socket", None), ("inter-socket", SKEWED)):
+        series = {}
+        for design in ("enhanced-gdr", "enhanced-gdr-noproxy"):
+            pts = latency_sweep(design, "get", Domain.GPU, Domain.GPU, SIZES,
+                                node_config=node_cfg)
+            series[design] = [p.usec for p in pts]
+        out.append(
+            format_series(
+                "bytes", series, SIZES,
+                title=f"Ablation — inter-node D-D get, {label} (usec)",
+            )
+        )
+    return "\n\n".join(out)
+
+
+def test_proxy_ablation(benchmark):
+    run_and_archive(benchmark, "ablation_proxy", run_proxy_ablation)
+
+
+def test_proxy_wins_for_large_gets():
+    with_proxy = latency_sweep("enhanced-gdr", "get", Domain.GPU, Domain.GPU, [4 * MiB])[0]
+    without = latency_sweep("enhanced-gdr-noproxy", "get", Domain.GPU, Domain.GPU, [4 * MiB])[0]
+    assert with_proxy.usec < without.usec  # staged beats raw P2P read
+
+
+def test_proxy_rescue_grows_inter_socket():
+    """Where P2P read collapses to 247 MB/s, the proxy matters most."""
+    with_proxy = latency_sweep(
+        "enhanced-gdr", "get", Domain.GPU, Domain.GPU, [4 * MiB], node_config=SKEWED
+    )[0]
+    without = latency_sweep(
+        "enhanced-gdr-noproxy", "get", Domain.GPU, Domain.GPU, [4 * MiB], node_config=SKEWED
+    )[0]
+    assert without.usec > 3 * with_proxy.usec
+
+
+def test_small_messages_unaffected():
+    """Below the threshold both designs are identical (Direct GDR)."""
+    a = latency_sweep("enhanced-gdr", "get", Domain.GPU, Domain.GPU, [2 * KiB])[0]
+    b = latency_sweep("enhanced-gdr-noproxy", "get", Domain.GPU, Domain.GPU, [2 * KiB])[0]
+    assert a.usec == b.usec

@@ -1,0 +1,87 @@
+"""Ablation — service thread vs truly one-sided designs (§III-C).
+
+The paper considers (and rejects) the reference implementation's
+service-thread alternative: a per-process progress thread *would*
+restore overlap for the host-pipeline design, but "it will lead to a
+significant degradation in application efficiency as threads will
+consume half of the CPU resources".  Both halves of that argument are
+measurable here.
+"""
+
+from conftest import run_and_archive
+from repro.bench.overlap import overlap_percentage, overlap_sweep
+from repro.reporting.format import format_table
+from repro.shmem import Domain, ShmemJob
+from repro.units import MiB, usec
+
+COMPUTES = [0, 200, 800]
+
+
+def _overlap(design, service_thread):
+    from repro.bench.overlap import _overlap_program
+
+    points = []
+    for cu in COMPUTES:
+        job = ShmemJob(nodes=2, pes_per_node=1, design=design, service_thread=service_thread)
+        res = job.run(_overlap_program(1 * MiB, usec(cu)))
+        points.append(res.results[0] * 1e6)
+    base, worst = points[0], points[-1]
+    extra = max(0.0, worst - base)
+    return 100.0 * (1.0 - extra / COMPUTES[-1])
+
+
+def _app_time(design, service_thread):
+    """A compute-heavy loop with light communication: the CPU cost of
+    the progress thread shows up as lost application time."""
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(8 * 1024, domain=Domain.GPU)
+        src = ctx.cuda.malloc(8 * 1024)  # device source: D-D, legal everywhere
+        yield from ctx.barrier_all()
+        t0 = ctx.now
+        for _ in range(20):
+            yield from ctx.compute(usec(100))  # CPU phase
+            yield from ctx.putmem(sym, src, 8 * 1024, pe=(ctx.my_pe() + 1) % ctx.npes)
+            yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        return ctx.now - t0
+
+    job = ShmemJob(nodes=2, pes_per_node=1, design=design, service_thread=service_thread)
+    return max(job.run(main).results) * 1e3  # ms
+
+
+def run_service_thread_ablation() -> str:
+    rows = []
+    for design in ("host-pipeline", "enhanced-gdr"):
+        for st in (False, True):
+            rows.append(
+                [
+                    design,
+                    "on" if st else "off",
+                    f"{_overlap(design, st):.0f}%",
+                    f"{_app_time(design, st):.3f}",
+                ]
+            )
+    return format_table(
+        ["design", "service thread", "overlap (1 MB)", "app loop (ms)"],
+        rows,
+        title="Ablation — service thread: overlap gained vs CPU time lost",
+    )
+
+
+def test_service_thread_ablation(benchmark):
+    run_and_archive(benchmark, "ablation_service_thread", run_service_thread_ablation)
+
+
+def test_service_thread_restores_baseline_overlap():
+    assert _overlap("host-pipeline", False) < 40.0
+    assert _overlap("host-pipeline", True) > 95.0
+
+
+def test_service_thread_costs_app_time():
+    """...but the proposed design gets the overlap without the tax."""
+    hp_off = _app_time("host-pipeline", False)
+    hp_on = _app_time("host-pipeline", True)
+    assert hp_on > hp_off * 1.3  # the CPU penalty is visible
+    gdr_off = _app_time("enhanced-gdr", False)
+    assert gdr_off < hp_on  # one-sided + full CPU beats thread-assisted

@@ -1,0 +1,69 @@
+"""Ablation — GDR threshold placement (§III-B/III-C).
+
+Sweeps the Direct-GDR cutover and shows (a) why a hybrid beats
+GDR-everywhere and staging-everywhere, and (b) why the read-path
+threshold must sit below the write-path threshold (Table III's P2P
+read bottleneck).
+"""
+
+import pytest
+
+from conftest import archive, run_and_archive
+from repro.bench.latency import latency_sweep
+from repro.hardware import wilkes_params
+from repro.reporting.format import format_series
+from repro.shmem import Domain
+from repro.units import KiB, MiB
+
+SIZES = [1 * KiB, 8 * KiB, 32 * KiB, 128 * KiB, 1 * MiB, 4 * MiB]
+
+
+def _curve(params):
+    pts = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, SIZES, params=params)
+    return [p.usec for p in pts]
+
+
+def run_threshold_ablation() -> str:
+    always_gdr = wilkes_params().tuned(
+        gdr_put_threshold=1 << 30, gdr_get_threshold=1 << 30,
+        loopback_put_threshold=1 << 30, loopback_get_threshold=1 << 30,
+    )
+    never_gdr = wilkes_params().tuned(
+        gdr_put_threshold=0, gdr_get_threshold=0,
+        loopback_put_threshold=0, loopback_get_threshold=0,
+    )
+    series = {
+        "hybrid (default)": _curve(None),
+        "always Direct-GDR": _curve(always_gdr),
+        "never GDR (always staged)": _curve(never_gdr),
+    }
+    return format_series(
+        "bytes", series, SIZES,
+        title="Ablation — inter-node D-D put vs GDR threshold policy (usec)",
+    )
+
+
+def test_threshold_ablation(benchmark):
+    run_and_archive(benchmark, "ablation_thresholds", run_threshold_ablation)
+
+
+def test_hybrid_dominates_both_extremes():
+    always = wilkes_params().tuned(gdr_put_threshold=1 << 30, gdr_get_threshold=1 << 30)
+    never = wilkes_params().tuned(gdr_put_threshold=0, gdr_get_threshold=0)
+    small_hybrid = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [8])[0].usec
+    small_never = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [8], params=never)[0].usec
+    assert small_hybrid < small_never  # staging hurts small messages
+    large_hybrid = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [4 * MiB])[0].usec
+    large_always = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.GPU, [4 * MiB], params=always)[0].usec
+    assert large_hybrid < large_always  # P2P read throttles large GDR
+
+
+def test_read_threshold_matters_more_than_write():
+    """At a size between the two thresholds, the D-H put (read leg)
+    must already have left GDR while the H-D put (write leg) stays."""
+    p = wilkes_params()
+    mid = (p.gdr_get_threshold + p.gdr_put_threshold) // 2
+    dh = latency_sweep("enhanced-gdr", "put", Domain.GPU, Domain.HOST, [mid])[0].usec
+    hd = latency_sweep("enhanced-gdr", "put", Domain.HOST, Domain.GPU, [mid])[0].usec
+    # Direct GDR write is cheaper than a staged pipeline at this size.
+    assert hd < dh

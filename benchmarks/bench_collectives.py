@@ -1,0 +1,72 @@
+"""Collectives scaling benchmark.
+
+All collectives are layered over the one-sided runtime, so the GDR
+designs accelerate them for GPU-resident operands exactly as they do
+point-to-point traffic.  This target sweeps barrier/broadcast/reduce/
+alltoall across PE counts and both runtime designs.
+"""
+
+import numpy as np
+
+from conftest import run_and_archive
+from repro.reporting.format import format_table
+from repro.shmem import Domain, ShmemJob
+from repro.units import KiB, to_usec
+
+
+def _collective_program(which, nbytes):
+    def main(ctx):
+        src = yield from ctx.shmalloc(max(nbytes * ctx.npes, 64), domain=Domain.GPU)
+        dst = yield from ctx.shmalloc(max(nbytes * ctx.npes, 64), domain=Domain.GPU)
+        yield from ctx.barrier_all()
+        t0 = ctx.now
+        for _ in range(3):
+            if which == "barrier":
+                yield from ctx.barrier_all()
+            elif which == "broadcast":
+                yield from ctx.broadcast(src, nbytes, root=0)
+            elif which == "reduce":
+                yield from ctx.reduce(dst, src, count=nbytes // 8)
+            elif which == "alltoall":
+                yield from ctx.alltoall(dst, src, nbytes)
+        return (ctx.now - t0) / 3
+
+    return main
+
+
+def measure(which, npes, design, nbytes=4 * KiB):
+    job = ShmemJob(nodes=max(1, npes // 2), design=design)
+    res = job.run(_collective_program(which, nbytes))
+    return to_usec(max(res.results))
+
+
+def run_collectives() -> str:
+    rows = []
+    for which in ("barrier", "broadcast", "reduce", "alltoall"):
+        for npes in (4, 8, 16):
+            hp = measure(which, npes, "host-pipeline")
+            gd = measure(which, npes, "enhanced-gdr")
+            rows.append([which, str(npes), f"{hp:.1f}", f"{gd:.1f}",
+                         f"{100 * (1 - gd / hp):.0f}%"])
+    return format_table(
+        ["collective", "PEs", "host-pipeline (usec)", "enhanced-gdr (usec)", "improvement"],
+        rows,
+        title="Collectives over GPU symmetric objects (4 KB payloads)",
+    )
+
+
+def test_collectives_scaling(benchmark):
+    run_and_archive(benchmark, "collectives", run_collectives)
+
+
+def test_barrier_scales_logarithmically():
+    t4 = measure("barrier", 4, "enhanced-gdr")
+    t16 = measure("barrier", 16, "enhanced-gdr")
+    # dissemination: log2(16)/log2(4) = 2 rounds ratio; allow overheads
+    assert t16 < 3.5 * t4
+
+
+def test_gpu_collectives_benefit_from_gdr():
+    hp = measure("broadcast", 8, "host-pipeline")
+    gd = measure("broadcast", 8, "enhanced-gdr")
+    assert gd < hp

@@ -1,0 +1,27 @@
+"""Fig 11 — Stencil2D (SHOC) execution time at 16/32/64 GPUs.
+
+Paper: 24/18/14% improvement for 1K x 1K and 20/19% (32/64 GPUs) for
+2K x 2K, double precision, 1000 iterations.
+"""
+
+from conftest import run_and_archive
+from repro.apps.stencil2d import StencilConfig, run_stencil2d
+from repro.reporting.experiments import run_fig11
+
+
+def test_fig11a_stencil_1k(benchmark):
+    run_and_archive(benchmark, "fig11a", lambda: run_fig11(size=1024))
+
+
+def test_fig11b_stencil_2k(benchmark):
+    run_and_archive(benchmark, "fig11b", lambda: run_fig11(size=2048))
+
+
+def test_fig11_shape_claims():
+    cfg = StencilConfig(nx=1024, ny=1024, iterations=1000,
+                        measure_iterations=5, warmup_iterations=1)
+    for npes in (16, 64):
+        hp = run_stencil2d(nodes=npes // 2, design="host-pipeline", cfg=cfg)
+        gd = run_stencil2d(nodes=npes // 2, design="enhanced-gdr", cfg=cfg)
+        improvement = 1 - gd["evolution_time"] / hp["evolution_time"]
+        assert 0.05 < improvement < 0.60  # paper band: 14-24%

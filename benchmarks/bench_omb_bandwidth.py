@@ -1,0 +1,93 @@
+"""OMB-GPU bandwidth / message-rate / atomics benchmarks.
+
+These extend the paper's latency evaluation with the rest of the
+OMB-GPU suite on the same simulated fabric: streaming bandwidth
+(uni/bi-directional), small-message rate, and atomic-operation
+latency (§III-D).
+"""
+
+from conftest import run_and_archive
+from repro.bench import (
+    atomics_latency,
+    bandwidth_sweep,
+    bibandwidth_sweep,
+    message_rate,
+)
+from repro.reporting.format import format_series, format_table
+from repro.shmem import Domain
+from repro.units import KiB, MiB, message_sizes
+
+SIZES = message_sizes(4 * KiB, 4 * MiB)
+
+
+def run_bw() -> str:
+    series = {}
+    for design in ("host-pipeline", "enhanced-gdr"):
+        pts = bandwidth_sweep(design, Domain.GPU, Domain.GPU, SIZES)
+        series[design] = [p.mbps for p in pts]
+    return format_series(
+        "bytes", series, SIZES,
+        title="OMB: inter-node D-D uni-directional bandwidth (MB/s)",
+        fmt="{:,.0f}",
+    )
+
+
+def run_bibw() -> str:
+    series = {}
+    for design in ("host-pipeline", "enhanced-gdr"):
+        pts = bibandwidth_sweep(design, Domain.GPU, Domain.GPU, SIZES)
+        series[design] = [p.mbps for p in pts]
+    return format_series(
+        "bytes", series, SIZES,
+        title="OMB: inter-node D-D bi-directional bandwidth (MB/s)",
+        fmt="{:,.0f}",
+    )
+
+
+def run_rate_and_atomics() -> str:
+    rows = [
+        ["message rate (8 B D-D)", f"{message_rate(d):.2f} M msg/s"]
+        for d in ("host-pipeline", "enhanced-gdr")
+    ]
+    table1 = format_table(["metric", "value"], rows, title="OMB: message rate")
+    table2 = format_table(
+        ["op", "target domain", "latency (usec)"],
+        [a.row() for a in atomics_latency()],
+        title="OMB: remote atomics latency (enhanced-gdr)",
+    )
+    return table1 + "\n\n" + table2
+
+
+def test_omb_bandwidth(benchmark):
+    run_and_archive(benchmark, "omb_bandwidth", run_bw)
+
+
+def test_omb_bibandwidth(benchmark):
+    run_and_archive(benchmark, "omb_bibandwidth", run_bibw)
+
+
+def test_omb_rate_and_atomics(benchmark):
+    run_and_archive(benchmark, "omb_rate_atomics", run_rate_and_atomics)
+
+
+def test_bandwidth_shape_claims():
+    # Large-message bandwidth approaches the cudaMemcpy ceiling for both,
+    # but the proposed design is never worse.
+    for design in ("enhanced-gdr",):
+        pts = bandwidth_sweep(design, Domain.GPU, Domain.GPU, [4 * MiB])
+        assert pts[0].mbps > 4000
+    hp = bandwidth_sweep("host-pipeline", Domain.GPU, Domain.GPU, [4 * MiB])[0].mbps
+    gd = bandwidth_sweep("enhanced-gdr", Domain.GPU, Domain.GPU, [4 * MiB])[0].mbps
+    assert gd >= hp * 0.95
+
+
+def test_message_rate_gdr_multiplies():
+    """Small-message rate tracks the 7x latency headline."""
+    assert message_rate("enhanced-gdr") > 3 * message_rate("host-pipeline")
+
+
+def test_atomics_gpu_costlier_than_host():
+    pts = {(a.op, a.domain): a.usec for a in atomics_latency()}
+    assert pts[("fetch_add", Domain.GPU)] > pts[("fetch_add", Domain.HOST)]
+    # masked (32-bit) emulation costs more than the native 64-bit op
+    assert pts[("fetch_add_32", Domain.HOST)] > pts[("fetch_add", Domain.HOST)]

@@ -1,0 +1,9 @@
+"""Table I — feature/design/configuration matrix of the three designs."""
+
+from conftest import run_and_archive
+from repro.reporting import run_experiment
+
+
+def test_table1_feature_matrix(benchmark):
+    out = run_and_archive(benchmark, "table1", lambda: run_experiment("table1"))
+    assert "enhanced-gdr" in out and "H-H/H-D/D-H/D-D" in out

@@ -1,0 +1,24 @@
+"""Table III — PCIe peer-to-peer bandwidth and the FDR percentage."""
+
+import pytest
+
+from conftest import run_and_archive
+from repro.bench.p2p import p2p_bandwidth_probe
+from repro.reporting import run_experiment
+
+
+def test_table3_p2p_bandwidth(benchmark):
+    out = run_and_archive(benchmark, "table3", lambda: run_experiment("table3"))
+    assert "intra-socket" in out
+
+
+def test_table3_values_match_paper():
+    """Achieved rates must land on the paper's measured cells."""
+    paper = {
+        ("read", True): 3421,
+        ("read", False): 247,
+        ("write", True): 6396,
+        ("write", False): 1179,
+    }
+    for r in p2p_bandwidth_probe(nbytes=32 << 20):
+        assert r.mbps == pytest.approx(paper[(r.direction, r.same_socket)], rel=0.03)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark targets.
+
+Every benchmark regenerates one paper table/figure on the simulated
+cluster, prints it, and archives it under ``benchmarks/results/`` so
+the output survives pytest's capture.  pytest-benchmark wall-times the
+simulation itself (one round — the DES is deterministic, repetition
+adds nothing).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def archive(exp_id: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def run_and_archive(benchmark, exp_id: str, fn) -> str:
+    """Wall-time ``fn`` once via pytest-benchmark and archive its output."""
+    out = benchmark.pedantic(fn, rounds=1, iterations=1)
+    archive(exp_id, out)
+    return out

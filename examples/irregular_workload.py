@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Irregular workload: dynamic load balancing over one-sided atomics.
+
+The paper's introduction motivates PGAS for "data-intensive
+applications that may have an irregular communication pattern"
+[8-10].  This example is the classic pattern: a bag of tasks with
+wildly skewed costs, claimed at runtime through a single GPU-resident
+atomic counter (hardware fetch-add through GDR, §III-D) — no master
+process, no two-sided coordination.
+
+A static block distribution of the same tasks leaves most PEs idle
+while one PE grinds through the expensive block; the dynamic version
+self-balances.  Run:  python examples/irregular_workload.py
+"""
+
+from repro.shmem import Domain, ShmemJob
+from repro.units import to_msec, usec
+
+N_TASKS = 96
+
+
+def task_cost(i: int) -> float:
+    """Deliberately skewed: the first few tasks are 30x the median —
+    and they all land in one PE's block under a static split."""
+    return usec(600) if i < 8 else usec(20)
+
+
+def dynamic(ctx):
+    counter = yield from ctx.shmalloc(8, domain=Domain.GPU)  # GDR atomic target
+    yield from ctx.barrier_all()
+    t0 = ctx.now
+    done = 0
+    while True:
+        ticket = yield from ctx.atomic_fetch_add(counter, 1, pe=0)
+        if ticket >= N_TASKS:
+            break
+        yield from ctx.gpu_compute(task_cost(ticket))
+        done += 1
+    yield from ctx.barrier_all()
+    return (ctx.now - t0, done)
+
+
+def static(ctx):
+    yield from ctx.barrier_all()
+    t0 = ctx.now
+    per = N_TASKS // ctx.npes
+    start = ctx.my_pe() * per
+    done = 0
+    for i in range(start, start + per):
+        yield from ctx.gpu_compute(task_cost(i))
+        done += 1
+    yield from ctx.barrier_all()
+    return (ctx.now - t0, done)
+
+
+def main():
+    for label, program in (("static block", static), ("dynamic (GDR atomics)", dynamic)):
+        job = ShmemJob(nodes=2, design="enhanced-gdr")
+        res = job.run(program)
+        makespan = max(t for t, _d in res.results)
+        counts = [d for _t, d in res.results]
+        print(f"{label:22s}: makespan = {to_msec(makespan):7.3f} ms, "
+              f"tasks per PE = {counts}")
+    print("\nDynamic claiming flattens the skew: every PE stays busy, and the")
+    print("whole coordination is fetch-add on one GPU word — no messages, no master.")
+
+
+if __name__ == "__main__":
+    main()

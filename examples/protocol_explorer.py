@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Protocol explorer: see which §III scheme serves each operation.
+
+Prints the full decision table of the proposed Enhanced-GDR design —
+every (op, configuration, locality, size, socket placement) mapped to
+the protocol the runtime would execute, with the paper's rationale.
+
+Run:  python examples/protocol_explorer.py [design]
+"""
+
+import sys
+
+from repro.hardware import wilkes_params
+from repro.reporting.format import format_table
+from repro.shmem import Config, Locality, Op, make_selector
+from repro.shmem.protocols import UnsupportedConfiguration
+from repro.units import KiB, MiB, fmt_size
+
+SIZES = [8, 2 * KiB, 64 * KiB, 4 * MiB]
+
+
+def main(design: str = "enhanced-gdr"):
+    selector = make_selector(design, wilkes_params())
+    rows = []
+    for op in (Op.PUT, Op.GET):
+        for config in Config:
+            for loc in (Locality.INTRA_NODE, Locality.INTER_NODE):
+                for nbytes in SIZES:
+                    for remote_ss in (True, False):
+                        try:
+                            route = selector.select(
+                                op, config, loc, nbytes,
+                                remote_same_socket=remote_ss,
+                                local_same_socket=True,
+                            )
+                            proto, why = route.protocol.value, route.reason
+                        except UnsupportedConfiguration:
+                            proto, why = "UNSUPPORTED", "not handled by this design"
+                        rows.append(
+                            [
+                                op.value,
+                                config.value,
+                                loc.value,
+                                fmt_size(nbytes),
+                                "intra" if remote_ss else "inter",
+                                proto,
+                                why,
+                            ]
+                        )
+    # de-duplicate rows where the socket flag makes no difference
+    seen, unique = set(), []
+    for row in rows:
+        key = tuple(row[:4] + row[5:6])
+        if key in seen and row[4] == "inter":
+            continue
+        seen.add(key)
+        unique.append(row)
+    print(
+        format_table(
+            ["op", "config", "locality", "size", "socket", "protocol", "why"],
+            unique,
+            title=f"Protocol decision table — design: {design}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "enhanced-gdr")

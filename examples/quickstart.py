@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: GPU-aware OpenSHMEM in a simulated two-node GPU cluster.
+
+Allocates symmetric memory on the GPU domain (the paper's
+``shmalloc(size, domain)`` extension), moves data with truly one-sided
+puts/gets, uses GDR atomics, and finishes with a collective — all on
+the proposed Enhanced-GDR runtime.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.shmem import Domain, ShmemJob
+from repro.units import to_usec
+
+
+def main(ctx):
+    me, npes = ctx.my_pe(), ctx.n_pes()
+
+    # --- symmetric allocation on the GPU (collective) -------------------
+    data = yield from ctx.shmalloc(4096, domain=Domain.GPU)
+    counter = yield from ctx.shmalloc(8, domain=Domain.GPU)
+    result = yield from ctx.shmalloc(8 * npes, domain=Domain.HOST)
+
+    # --- one-sided put: ring neighbour exchange --------------------------
+    src = ctx.cuda.malloc_host(4096)
+    src.as_array(np.float32)[:] = float(me)
+    right = (me + 1) % npes
+
+    t0 = ctx.now
+    yield from ctx.putmem(data, src, 4096, pe=right)  # H -> remote D
+    yield from ctx.quiet()  # remote completion
+    put_usec = to_usec(ctx.now - t0)
+    yield from ctx.barrier_all()
+
+    received = data.as_array(np.float32)[0]
+    expected = float((me - 1) % npes)
+    assert received == expected, (received, expected)
+
+    # --- GDR atomics on a GPU-resident counter ---------------------------
+    old = yield from ctx.atomic_fetch_add(counter, 1, pe=0)
+    yield from ctx.barrier_all()
+    total = int.from_bytes(counter.read(8), "little") if me == 0 else None
+
+    # --- a collective over the one-sided layer ---------------------------
+    mine = yield from ctx.shmalloc(8, domain=Domain.HOST)
+    mine.as_array(np.float64)[0] = (me + 1) ** 2
+    yield from ctx.fcollect(result, mine, 8)
+    squares = result.as_array(np.float64).tolist()
+
+    return {
+        "pe": me,
+        "put_usec": round(put_usec, 2),
+        "halo_ok": bool(received == expected),
+        "ticket": old,
+        "counter_total": total,
+        "squares": squares,
+    }
+
+
+if __name__ == "__main__":
+    job = ShmemJob(nodes=2, design="enhanced-gdr")
+    res = job.run(main)
+    print(f"ran {job.npes} PEs on 2 nodes under the 'enhanced-gdr' runtime\n")
+    for r in res.results:
+        print(
+            f"PE {r['pe']}: 4 KB H->D put+quiet = {r['put_usec']:6.2f} usec, "
+            f"halo ok = {r['halo_ok']}, atomic ticket = {r['ticket']}"
+        )
+    print(f"\nGPU-resident counter after all fetch-adds: {res.results[0]['counter_total']}")
+    print(f"fcollect of (pe+1)^2: {res.results[0]['squares']}")
+    print(f"\nvirtual time: {to_usec(res.program_time):.1f} usec")

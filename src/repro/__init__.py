@@ -1,0 +1,71 @@
+"""gdr-shmem: a simulation-backed reproduction of *Exploiting GPUDirect
+RDMA in Designing High Performance OpenSHMEM for NVIDIA GPU Clusters*
+(Hamidouche et al., IEEE CLUSTER 2015).
+
+Public surface in one import::
+
+    from repro import Domain, ShmemJob, run_spmd
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(4096, domain=Domain.GPU)
+        ...
+
+    result = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+
+See ``README.md`` for the architecture tour, ``DESIGN.md`` for the
+system inventory, and ``EXPERIMENTS.md`` for the paper-vs-measured
+record.  ``python -m repro list`` / ``python -m repro run fig8a``
+regenerate any paper artifact from the command line.
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    CudaError,
+    HeapExhausted,
+    IBError,
+    LinkDown,
+    ReproError,
+    ShmemError,
+)
+from repro.hardware import ClusterConfig, HardwareParams, NodeConfig, wilkes_params
+from repro.shmem import (
+    Config,
+    Domain,
+    JobResult,
+    Locality,
+    Op,
+    Protocol,
+    ShmemContext,
+    ShmemJob,
+    SymPtr,
+    UnsupportedConfiguration,
+    run_spmd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "Config",
+    "ConfigurationError",
+    "CudaError",
+    "Domain",
+    "HardwareParams",
+    "HeapExhausted",
+    "IBError",
+    "JobResult",
+    "LinkDown",
+    "Locality",
+    "NodeConfig",
+    "Op",
+    "Protocol",
+    "ReproError",
+    "ShmemContext",
+    "ShmemError",
+    "ShmemJob",
+    "SymPtr",
+    "UnsupportedConfiguration",
+    "run_spmd",
+    "wilkes_params",
+    "__version__",
+]

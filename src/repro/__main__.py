@@ -1,0 +1,49 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro list                 # every registered experiment
+    python -m repro run fig8a            # one artifact, full sweep
+    python -m repro run table3 --quick   # trimmed sweep
+    python -m repro run all --quick      # everything (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from CLUSTER'15 GDR-OpenSHMEM",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="experiment id, e.g. fig8a, table3, all")
+    runp.add_argument("--quick", action="store_true", help="trimmed sweeps")
+    args = parser.parse_args(argv)
+
+    from repro.reporting import EXPERIMENTS, run_experiment
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp_id, exp in EXPERIMENTS.items():
+            print(f"{exp_id:<{width}}  {exp.title:<32}  paper: {exp.paper_claim}")
+        return 0
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'python -m repro list'", file=sys.stderr)
+        return 2
+    for target in targets:
+        print(run_experiment(target, quick=args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Application kernels used in the paper's evaluation (§IV, §V-C).
+
+* :mod:`repro.apps.stencil2d` — the SHOC Stencil2D benchmark: a 2-D
+  9-point stencil with halo exchange, double precision.
+* :mod:`repro.apps.lbm`       — the GPULBM multiphase Lattice Boltzmann
+  evolution phase: a Z-decomposed 3-D grid with three plane exchanges
+  per timestep (laplacian-of-phi, f, and f+g 6-element).
+
+Both run in two modes: *validated* (real numpy math on small grids,
+checked against a single-PE reference in the tests) and *modeled*
+(roofline kernel times for paper-scale grids).  Communication is always
+real: every halo byte crosses the simulated OpenSHMEM runtime.
+"""
+
+from repro.apps.grid import partition_1d, process_grid, tile_of
+from repro.apps.stencil2d import StencilConfig, StencilResult, run_stencil2d, stencil_program
+from repro.apps.lbm import LBMConfig, LBMResult, lbm_program, run_lbm
+from repro.apps.lbm3d import LBM3DConfig, LBM3DResult, lbm3d_program, run_lbm3d
+
+__all__ = [
+    "LBM3DConfig",
+    "LBM3DResult",
+    "LBMConfig",
+    "LBMResult",
+    "StencilConfig",
+    "StencilResult",
+    "lbm3d_program",
+    "lbm_program",
+    "partition_1d",
+    "process_grid",
+    "run_lbm",
+    "run_lbm3d",
+    "run_stencil2d",
+    "stencil_program",
+    "tile_of",
+]

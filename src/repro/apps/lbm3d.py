@@ -1,0 +1,297 @@
+"""GPULBM with full 3-D domain decomposition.
+
+§IV describes the production decomposition along Z, but the paper's
+weak-scaling runs distribute the process grid in three dimensions
+("with 64 processes, we distribute on the grid as 4 x 4 x 4", §V-C).
+This module implements that variant: each PE owns an
+``(lnz, lny, lnx)`` brick with one ghost plane per face, exchanging
+with up to six neighbours (periodic in every dimension).
+
+The physics and per-step structure are identical to
+:mod:`repro.apps.lbm` — laplacian-of-phi, f, then the 6-element g,
+with phi recomputed locally on every ghost face so three exchanges per
+step still suffice:
+
+* lap only feeds the z-derivative of f, so its exchange touches the
+  two **z faces** (contiguous planes, direct one-sided puts);
+* f and g feed the pointwise phi update on *all* ghosts, so their
+  exchanges cover all **six faces** — x/y faces are strided and go
+  through packed symmetric face buffers (pack/unpack kernels charged),
+  exactly how real 3-D halo codes handle non-contiguous faces.
+
+Validation compares against the same single-domain reference as the
+Z-only version (the math is decomposition-invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.grid import process_grid_3d
+from repro.apps.lbm import A_COEF, B_COEF, C_COEF, G_DZ, W0, WC, seed_phi
+from repro.errors import ConfigurationError
+from repro.shmem import Domain, ShmemJob
+from repro.shmem.collectives import NOTIFY_FLAG_OFF
+
+#: Six face-flag slots in the reserved sync area.
+_FACE_FLAGS = {name: NOTIFY_FLAG_OFF + 8 * i
+               for i, name in enumerate(("ZP", "ZM", "YP", "YM", "XP", "XM"))}
+_OPP = {"ZP": "ZM", "ZM": "ZP", "YP": "YM", "YM": "YP", "XP": "XM", "XM": "XP"}
+
+
+@dataclass(frozen=True)
+class LBM3DConfig:
+    """One 3-D-decomposed LBM experiment."""
+
+    nx: int = 32
+    ny: int = 32
+    nz: int = 32
+    iterations: int = 100
+    measure_iterations: int = 6
+    warmup_iterations: int = 2
+    validate: bool = False
+
+    def local_shape(self, npes: int) -> Tuple[int, int, int, Tuple[int, int, int]]:
+        px, py, pz = process_grid_3d(npes)
+        for extent, parts, axis in ((self.nx, px, "x"), (self.ny, py, "y"), (self.nz, pz, "z")):
+            if extent % parts:
+                raise ConfigurationError(
+                    f"global n{axis}={extent} must divide the {parts}-way "
+                    f"{axis} process dimension"
+                )
+        return self.nx // px, self.ny // py, self.nz // pz, (px, py, pz)
+
+
+@dataclass
+class LBM3DResult:
+    evolution_time: float
+    per_iteration: float
+    comm_time: float
+    compute_time: float
+    phi_tile: Optional[np.ndarray] = None
+    origin: Tuple[int, int, int] = (0, 0, 0)
+
+
+def lbm3d_program(cfg: LBM3DConfig):
+    """Build the SPMD evolution program (3-D bricks)."""
+
+    def main(ctx) -> Generator:
+        lnx, lny, lnz, (px, py, pz) = cfg.local_shape(ctx.npes)
+        esize = 4  # float32
+        # My brick coordinates: rank = cx + px * (cy + py * cz)
+        cx = ctx.pe % px
+        cy = (ctx.pe // px) % py
+        cz = ctx.pe // (px * py)
+
+        def rank(ix, iy, iz):
+            return (ix % px) + px * ((iy % py) + py * (iz % pz))
+
+        nbr = {
+            "XP": rank(cx + 1, cy, cz), "XM": rank(cx - 1, cy, cz),
+            "YP": rank(cx, cy + 1, cz), "YM": rank(cx, cy - 1, cz),
+            "ZP": rank(cx, cy, cz + 1), "ZM": rank(cx, cy, cz - 1),
+        }
+
+        gz, gy, gx = lnz + 2, lny + 2, lnx + 2
+        vol = gz * gy * gx
+
+        phi_s = yield from ctx.shmalloc(vol * esize, domain=Domain.GPU)
+        lap_s = yield from ctx.shmalloc(vol * esize, domain=Domain.GPU)
+        f_s = yield from ctx.shmalloc(vol * esize, domain=Domain.GPU)
+        g_s = yield from ctx.shmalloc(vol * 6 * esize, domain=Domain.GPU)
+
+        # Symmetric face buffers for the strided x/y faces, per field
+        # family: sized for the widest user (g: 6 components).
+        ybytes = gz * gx * esize
+        xbytes = gz * gy * esize
+        face_in = {}
+        for d in ("YP", "YM"):
+            face_in[d] = yield from ctx.shmalloc(6 * ybytes, domain=Domain.GPU)
+        for d in ("XP", "XM"):
+            face_in[d] = yield from ctx.shmalloc(6 * xbytes, domain=Domain.GPU)
+        pack_buf = ctx.cuda.malloc(6 * max(ybytes, xbytes), tag="lbm3d.pack")
+
+        def view(sym, comps=1):
+            arr = sym.as_array(np.float32)
+            return arr.reshape(gz, gy, gx) if comps == 1 else arr.reshape(gz, gy, gx, comps)
+
+        origin = (cz * lnz, cy * lny, cx * lnx)
+        if cfg.validate:
+            full = seed_phi(cfg.nx, cfg.ny, cfg.nz)  # (nz, ny, nx)
+            z0, y0, x0 = origin
+            # wrap-padded slice covering ghosts (periodic)
+            zi = [(z0 - 1 + k) % cfg.nz for k in range(gz)]
+            yi = [(y0 - 1 + k) % cfg.ny for k in range(gy)]
+            xi = [(x0 - 1 + k) % cfg.nx for k in range(gx)]
+            tile = full[np.ix_(zi, yi, xi)]
+            view(phi_s)[:] = tile
+            view(f_s)[:] = tile
+            g = view(g_s, 6)
+            for c in range(6):
+                g[..., c] = tile
+
+        gpu = ctx.cuda.gpu
+        sites = lnz * lny * lnx
+        t_lap = gpu.estimate_kernel_time(flops=sites * 8, bytes_touched=sites * 8 * esize, efficiency=0.8)
+        t_f = gpu.estimate_kernel_time(flops=sites * 6, bytes_touched=sites * 5 * esize, efficiency=0.8)
+        t_g = gpu.estimate_kernel_time(flops=sites * 24, bytes_touched=sites * 14 * esize, efficiency=0.8)
+        t_phi = gpu.estimate_kernel_time(flops=sites * 8, bytes_touched=sites * 8 * esize, efficiency=0.8)
+        t_pack_y = gpu.estimate_kernel_time(bytes_touched=2.0 * ybytes)
+        t_pack_x = gpu.estimate_kernel_time(bytes_touched=2.0 * xbytes)
+
+        stamp = 0
+        comm_s = 0.0
+        compute_s = 0.0
+
+        def flag(d):
+            return ctx.sync_sym(_FACE_FLAGS[d])
+
+        def signal_and_wait(dirs) -> Generator:
+            nonlocal stamp
+            stamp += 1
+            yield from ctx.quiet()
+            for d in dirs:
+                yield from ctx.put_uint64(flag(_OPP[d]).addr, stamp, nbr[d])
+            yield from ctx.quiet()
+            for d in dirs:
+                yield from ctx.wait_until(flag(d), ">=", stamp)
+
+        def exchange_z(sym, comps=1) -> Generator:
+            """Direct puts of the two contiguous z ghost planes."""
+            nonlocal comm_s
+            t0 = ctx.now
+            plane = gy * gx * comps * esize
+            # my top interior plane (z=lnz) -> ZP neighbour's ghost z=0
+            yield from ctx.putmem(sym.addr + 0 * plane, sym.local + lnz * plane, plane, nbr["ZP"])
+            yield from ctx.putmem(sym.addr + (lnz + 1) * plane, sym.local + 1 * plane, plane, nbr["ZM"])
+            yield from signal_and_wait(("ZP", "ZM"))
+            comm_s += ctx.now - t0
+
+        def exchange_all_faces(sym, comps=1) -> Generator:
+            """Six-face exchange: direct z planes + packed x/y faces."""
+            nonlocal comm_s
+            t0 = ctx.now
+            plane = gy * gx * comps * esize
+            yield from ctx.putmem(sym.addr + 0 * plane, sym.local + lnz * plane, plane, nbr["ZP"])
+            yield from ctx.putmem(sym.addr + (lnz + 1) * plane, sym.local + 1 * plane, plane, nbr["ZM"])
+            # y faces: rows y=lny -> YP ghost y=0; y=1 -> YM ghost y=lny+1
+            for d, row in (("YP", lny), ("YM", 1)):
+                if cfg.validate:
+                    face = view(sym, comps)[:, row, ...]
+                    pack_buf.as_array(np.float32, face.size)[:] = face.reshape(-1)
+                yield from ctx.gpu_compute(t_pack_y)
+                yield from ctx.putmem(face_in[_OPP[d]].addr, pack_buf, comps * ybytes, nbr[d])
+            # x faces: columns x=lnx -> XP ghost x=0; x=1 -> XM ghost lnx+1
+            for d, col in (("XP", lnx), ("XM", 1)):
+                if cfg.validate:
+                    face = view(sym, comps)[:, :, col, ...] if comps == 1 else view(sym, comps)[:, :, col, :]
+                    pack_buf.as_array(np.float32, face.size)[:] = face.reshape(-1)
+                yield from ctx.gpu_compute(t_pack_x)
+                yield from ctx.putmem(face_in[_OPP[d]].addr, pack_buf, comps * xbytes, nbr[d])
+            yield from signal_and_wait(("ZP", "ZM", "YP", "YM", "XP", "XM"))
+            # unpack received x/y faces into my ghost planes
+            for d, row in (("YP", lny + 1), ("YM", 0)):
+                if cfg.validate:
+                    got = face_in[d].as_array(np.float32, gz * gx * comps)
+                    target = view(sym, comps)[:, row, ...]
+                    target[...] = got.reshape(target.shape)
+                yield from ctx.gpu_compute(t_pack_y)
+            for d, col in (("XP", lnx + 1), ("XM", 0)):
+                if cfg.validate:
+                    got = face_in[d].as_array(np.float32, gz * gy * comps)
+                    target = view(sym, comps)[:, :, col] if comps == 1 else view(sym, comps)[:, :, col, :]
+                    target[...] = got.reshape(target.shape)
+                yield from ctx.gpu_compute(t_pack_x)
+            comm_s += ctx.now - t0
+
+        def charge(seconds: float) -> Generator:
+            nonlocal compute_s
+            t0 = ctx.now
+            yield from ctx.gpu_compute(seconds)
+            compute_s += ctx.now - t0
+
+        def step() -> Generator:
+            # 1. 7-point laplacian (needs phi ghosts on all faces)
+            if cfg.validate:
+                p = view(phi_s)
+                lap = view(lap_s)
+                lap[1:-1, 1:-1, 1:-1] = (
+                    p[0:-2, 1:-1, 1:-1] + p[2:, 1:-1, 1:-1]
+                    + p[1:-1, 0:-2, 1:-1] + p[1:-1, 2:, 1:-1]
+                    + p[1:-1, 1:-1, 0:-2] + p[1:-1, 1:-1, 2:]
+                    - 6.0 * p[1:-1, 1:-1, 1:-1]
+                )
+            yield from charge(t_lap)
+            yield from exchange_z(lap_s)  # f only needs lap's z ghosts
+            # 2. f update (z-derivative of lap)
+            if cfg.validate:
+                lap, f, p = view(lap_s), view(f_s), view(phi_s)
+                f[1:-1, 1:-1, 1:-1] = (
+                    f[1:-1, 1:-1, 1:-1]
+                    + A_COEF * (lap[0:-2, 1:-1, 1:-1] + lap[2:, 1:-1, 1:-1] - 2 * lap[1:-1, 1:-1, 1:-1])
+                    + B_COEF * (p[1:-1, 1:-1, 1:-1] - f[1:-1, 1:-1, 1:-1])
+                )
+            yield from charge(t_f)
+            yield from exchange_all_faces(f_s)
+            # 3. g update (z-shifts of f)
+            if cfg.validate:
+                f, g = view(f_s), view(g_s, 6)
+                for c, dz in enumerate(G_DZ):
+                    src = f[1 + dz : lnz + 1 + dz, 1:-1, 1:-1]
+                    g[1:-1, 1:-1, 1:-1, c] += C_COEF * (src - g[1:-1, 1:-1, 1:-1, c])
+            yield from charge(t_g)
+            yield from exchange_all_faces(g_s, comps=6)
+            # 4. phi everywhere (interior + all ghosts) from f and g
+            if cfg.validate:
+                f, g = view(f_s), view(g_s, 6)
+                view(phi_s)[:] = W0 * f + WC * g.sum(axis=3)
+            yield from charge(t_phi)
+
+        sim_iters = (
+            cfg.iterations
+            if cfg.validate
+            else min(cfg.iterations, cfg.warmup_iterations + cfg.measure_iterations)
+        )
+        measured_from = 0 if cfg.validate else min(cfg.warmup_iterations, sim_iters)
+        yield from ctx.barrier_all()
+        for _ in range(measured_from):
+            yield from step()
+        comm_s = compute_s = 0.0
+        t_start = ctx.now
+        for _ in range(measured_from, sim_iters):
+            yield from step()
+        yield from ctx.barrier_all()
+        window = max(sim_iters - measured_from, 1)
+        per_iter = (ctx.now - t_start) / window
+        return LBM3DResult(
+            evolution_time=per_iter * cfg.iterations,
+            per_iteration=per_iter,
+            comm_time=comm_s / window,
+            compute_time=compute_s / window,
+            phi_tile=np.array(view(phi_s)[1:-1, 1:-1, 1:-1]) if cfg.validate else None,
+            origin=origin,
+        )
+
+    return main
+
+
+def run_lbm3d(nodes: int, design: str, cfg: Optional[LBM3DConfig] = None,
+              pes_per_node: int = 0, **job_kwargs) -> Dict:
+    """Run one 3-D-decomposed LBM experiment."""
+    cfg = cfg or LBM3DConfig()
+    job = ShmemJob(nodes=nodes, design=design, pes_per_node=pes_per_node, **job_kwargs)
+    res = job.run(lbm3d_program(cfg))
+    per_pe: List[LBM3DResult] = res.results
+    return {
+        "design": design,
+        "npes": job.npes,
+        "evolution_time": max(r.evolution_time for r in per_pe),
+        "per_iteration": max(r.per_iteration for r in per_pe),
+        "comm_time": per_pe[0].comm_time,
+        "compute_time": per_pe[0].compute_time,
+        "results": per_pe,
+        "job": job,
+    }

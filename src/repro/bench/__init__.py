@@ -1,0 +1,37 @@
+"""OMB-GPU-style micro-benchmarks and experiment drivers.
+
+These are the measurement loops behind every table and figure in the
+paper's evaluation (§V); the ``benchmarks/`` directory wraps them in
+pytest-benchmark targets, and :mod:`repro.reporting.experiments` maps
+each paper artifact to its driver.
+"""
+
+from repro.bench.bandwidth import (
+    AtomicPoint,
+    BandwidthPoint,
+    atomics_latency,
+    bandwidth_sweep,
+    bibandwidth_sweep,
+    message_rate,
+)
+from repro.bench.latency import LatencyPoint, latency_sweep
+from repro.bench.overlap import OverlapPoint, overlap_sweep
+from repro.bench.p2p import P2PResult, p2p_bandwidth_probe
+from repro.bench.verbs_level import Table2Row, table2_probe
+
+__all__ = [
+    "AtomicPoint",
+    "BandwidthPoint",
+    "LatencyPoint",
+    "OverlapPoint",
+    "P2PResult",
+    "Table2Row",
+    "atomics_latency",
+    "bandwidth_sweep",
+    "bibandwidth_sweep",
+    "latency_sweep",
+    "message_rate",
+    "overlap_sweep",
+    "p2p_bandwidth_probe",
+    "table2_probe",
+]

@@ -1,0 +1,93 @@
+"""Point-to-point latency sweeps (Figs 6-9).
+
+One simulated job measures a whole message-size sweep: for each size,
+PE 0 issues the operation against the last PE and times it on the
+virtual clock.  The simulation is deterministic, so a single
+measurement per size is exact (the OMB averaging loop exists to beat
+real-world noise, which a DES does not have); we still run a warmup
+op per size so protocol state (registration caches, staging pools) is
+steady, as OMB's skip iterations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.shmem import Domain, ShmemJob
+from repro.shmem.protocols import UnsupportedConfiguration
+from repro.units import to_usec
+
+
+@dataclass
+class LatencyPoint:
+    """One point of a latency curve."""
+
+    nbytes: int
+    usec: float
+
+    def row(self) -> List[str]:
+        return [str(self.nbytes), f"{self.usec:.2f}"]
+
+
+def _sweep_program(op: str, sizes: Sequence[int], local_domain: Domain, remote_domain: Domain, target: str):
+    def main(ctx):
+        cap = max(sizes)
+        sym = yield from ctx.shmalloc(cap, domain=remote_domain)
+        if local_domain is Domain.GPU:
+            local = ctx.cuda.malloc(cap)
+        else:
+            local = ctx.cuda.malloc_host(cap)
+        tgt = ctx.npes - 1 if target == "far" else 1
+        points = []
+        for nbytes in sizes:
+            yield from ctx.barrier_all()
+            if ctx.my_pe() == 0:
+                # warmup (steady protocol state), then the measured op
+                for measured in (False, True):
+                    t0 = ctx.now
+                    if op == "put":
+                        yield from ctx.putmem(sym, local, nbytes, pe=tgt)
+                        yield from ctx.quiet()
+                    else:
+                        yield from ctx.getmem(local, sym, nbytes, pe=tgt)
+                    if measured:
+                        points.append(LatencyPoint(nbytes, to_usec(ctx.now - t0)))
+            yield from ctx.barrier_all()
+        return points
+
+    return main
+
+
+def latency_sweep(
+    design: str,
+    op: str,
+    local_domain: Domain,
+    remote_domain: Domain,
+    sizes: Sequence[int],
+    *,
+    nodes: int = 2,
+    target: str = "far",
+    pes_per_node: int = 0,
+    params=None,
+    node_config=None,
+) -> Optional[List[LatencyPoint]]:
+    """Measure a latency curve; ``None`` when the design cannot serve
+    the configuration at all (e.g. host-pipeline inter-node H-D, Fig 9)."""
+    if op not in ("put", "get"):
+        raise ValueError(f"op must be 'put' or 'get', got {op!r}")
+    heap = max(sizes) + (1 << 16)
+    job = ShmemJob(
+        nodes=nodes,
+        design=design,
+        pes_per_node=pes_per_node,
+        params=params,
+        node_config=node_config,
+        host_heap_size=max(heap, 32 << 20),
+        gpu_heap_size=max(heap, 32 << 20),
+    )
+    try:
+        res = job.run(_sweep_program(op, list(sizes), local_domain, remote_domain, target))
+    except UnsupportedConfiguration:
+        return None
+    return res.results[0]

@@ -1,0 +1,31 @@
+"""Simulated CUDA: allocations, memcpy, streams, IPC, UVA.
+
+This is a *functional + timed* model: every allocation is backed by a
+real numpy byte buffer, every memcpy actually moves bytes (so the test
+suite can verify end-to-end data correctness), and every operation
+charges virtual time through the node's PCIe topology.
+
+The surface mirrors the subset of CUDA the paper's runtime uses:
+
+* ``cudaMalloc`` / ``cudaMallocHost``  -> :meth:`CudaContext.malloc`,
+  :meth:`CudaContext.malloc_host`
+* ``cudaMemcpy`` (+Async, streams)     -> :meth:`CudaContext.memcpy`,
+  :meth:`CudaContext.memcpy_async`, :class:`Stream`
+* UVA pointer queries                  -> :attr:`Ptr.kind`
+* CUDA IPC                             -> :meth:`CudaContext.ipc_get_handle`,
+  :meth:`CudaContext.ipc_open_handle`
+"""
+
+from repro.cuda.memory import Allocation, MemKind, MemorySpace, Ptr
+from repro.cuda.api import CudaContext, Stream
+from repro.cuda.ipc import IpcHandle
+
+__all__ = [
+    "Allocation",
+    "CudaContext",
+    "IpcHandle",
+    "MemKind",
+    "MemorySpace",
+    "Ptr",
+    "Stream",
+]

@@ -1,0 +1,50 @@
+"""CUDA inter-process communication handles.
+
+``cudaIpcGetMemHandle`` / ``cudaIpcOpenMemHandle`` equivalents: a
+process exports a device allocation as an opaque handle; any process
+*on the same node* can open it and obtain a pointer aliasing the same
+physical memory.  Opening a handle from another node raises, exactly
+like real CUDA IPC (the paper's inter-node designs must therefore go
+through the network — which is the whole point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CudaError
+from repro.cuda.memory import Allocation, MemKind, Ptr
+
+
+@dataclass(frozen=True)
+class IpcHandle:
+    """Opaque exportable reference to a device allocation."""
+
+    node_id: int
+    device_id: int
+    owner: int
+    _alloc: Allocation
+
+    def open(self, opener_node_id: int) -> Ptr:
+        """Map the allocation into the opening process.
+
+        The returned pointer aliases the exporter's memory (writes are
+        visible to both), matching CUDA IPC semantics.
+        """
+        if opener_node_id != self.node_id:
+            raise CudaError(
+                f"CUDA IPC handle from node {self.node_id} cannot be opened on "
+                f"node {opener_node_id}: IPC is intra-node only"
+            )
+        if self._alloc.freed:
+            raise CudaError("IPC handle refers to a freed allocation")
+        return self._alloc.ptr(0)
+
+
+def get_handle(alloc: Allocation) -> IpcHandle:
+    """Export a device allocation (``cudaIpcGetMemHandle``)."""
+    if alloc.kind is not MemKind.DEVICE:
+        raise CudaError("CUDA IPC handles can only refer to device memory")
+    if alloc.freed:
+        raise CudaError("cannot export a freed allocation")
+    return IpcHandle(alloc.node_id, alloc.device_id, alloc.owner, alloc)

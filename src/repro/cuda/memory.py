@@ -1,0 +1,212 @@
+"""Byte-accurate memory model: allocations, pointers, the UVA space.
+
+Every :class:`Allocation` owns a numpy ``uint8`` buffer and a globally
+unique virtual-address range assigned by its :class:`MemorySpace` (one
+space per simulated cluster — a deliberate simplification of per-process
+UVA that makes symmetric-address bookkeeping easy to audit in tests).
+
+:class:`Ptr` is ``allocation + offset`` with pointer arithmetic, typed
+array views, and bounds-checked raw access.  All data movement in the
+simulator ultimately goes through :meth:`Ptr.read` / :meth:`Ptr.write`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CudaError
+
+
+class MemKind(enum.Enum):
+    """Which physical memory an allocation lives in."""
+
+    HOST = "host"
+    DEVICE = "device"
+    #: Host memory exported as a POSIX shared-memory segment (the
+    #: paper's intra-node D-H design maps the target host heap this way).
+    SHM = "shm"
+
+    @property
+    def on_host(self) -> bool:
+        return self is not MemKind.DEVICE
+
+
+class Allocation:
+    """A contiguous, byte-backed memory region."""
+
+    __slots__ = ("space", "kind", "node_id", "device_id", "owner", "size", "data", "base", "freed", "tag")
+
+    def __init__(
+        self,
+        space: "MemorySpace",
+        kind: MemKind,
+        size: int,
+        node_id: int,
+        owner: int,
+        device_id: Optional[int] = None,
+        base: int = 0,
+        tag: str = "",
+    ):
+        if size <= 0:
+            raise CudaError(f"allocation size must be positive, got {size}")
+        if kind is MemKind.DEVICE and device_id is None:
+            raise CudaError("device allocation requires a device_id")
+        self.space = space
+        self.kind = kind
+        self.size = size
+        self.node_id = node_id
+        self.device_id = device_id
+        self.owner = owner
+        self.data = np.zeros(size, dtype=np.uint8)
+        self.base = base
+        self.freed = False
+        self.tag = tag
+
+    def ptr(self, offset: int = 0) -> "Ptr":
+        return Ptr(self, offset)
+
+    def contains_va(self, va: int) -> bool:
+        return self.base <= va < self.base + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        dev = f" gpu{self.device_id}" if self.device_id is not None else ""
+        return f"<Allocation {self.kind.value}{dev} n{self.node_id} size={self.size} va=0x{self.base:x}>"
+
+
+class Ptr:
+    """A typed-view-capable pointer into an :class:`Allocation`."""
+
+    __slots__ = ("alloc", "offset")
+
+    def __init__(self, alloc: Allocation, offset: int = 0):
+        if not 0 <= offset <= alloc.size:
+            raise CudaError(f"pointer offset {offset} outside allocation of {alloc.size} bytes")
+        self.alloc = alloc
+        self.offset = offset
+
+    # ------------------------------------------------------------ queries
+    @property
+    def kind(self) -> MemKind:
+        """UVA-style query: where does this pointer point?"""
+        return self.alloc.kind
+
+    @property
+    def node_id(self) -> int:
+        return self.alloc.node_id
+
+    @property
+    def device_id(self) -> Optional[int]:
+        return self.alloc.device_id
+
+    @property
+    def va(self) -> int:
+        """Virtual address of this pointer."""
+        return self.alloc.base + self.offset
+
+    @property
+    def remaining(self) -> int:
+        """Bytes from here to the end of the allocation."""
+        return self.alloc.size - self.offset
+
+    # --------------------------------------------------------- arithmetic
+    def __add__(self, nbytes: int) -> "Ptr":
+        return Ptr(self.alloc, self.offset + nbytes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Ptr)
+            and other.alloc is self.alloc
+            and other.offset == self.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.alloc), self.offset))
+
+    # ------------------------------------------------------------- access
+    def _check(self, nbytes: int) -> None:
+        if self.alloc.freed:
+            raise CudaError("use-after-free: allocation already released")
+        if nbytes < 0:
+            raise CudaError(f"negative byte count {nbytes}")
+        if self.offset + nbytes > self.alloc.size:
+            raise CudaError(
+                f"access of {nbytes} bytes at offset {self.offset} overruns "
+                f"allocation of {self.alloc.size} bytes"
+            )
+
+    def read(self, nbytes: int) -> bytes:
+        """Copy ``nbytes`` out as an immutable snapshot."""
+        self._check(nbytes)
+        return self.alloc.data[self.offset : self.offset + nbytes].tobytes()
+
+    def write(self, payload: bytes) -> None:
+        """Write raw bytes at this pointer."""
+        n = len(payload)
+        self._check(n)
+        self.alloc.data[self.offset : self.offset + n] = np.frombuffer(payload, dtype=np.uint8)
+
+    def as_array(self, dtype, count: Optional[int] = None) -> np.ndarray:
+        """A mutable numpy view (used by compute kernels and tests)."""
+        dtype = np.dtype(dtype)
+        if count is None:
+            count = self.remaining // dtype.itemsize
+        nbytes = count * dtype.itemsize
+        self._check(nbytes)
+        return self.alloc.data[self.offset : self.offset + nbytes].view(dtype)
+
+    def fill(self, value: int, nbytes: Optional[int] = None) -> None:
+        """memset equivalent."""
+        if nbytes is None:
+            nbytes = self.remaining
+        self._check(nbytes)
+        self.alloc.data[self.offset : self.offset + nbytes] = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Ptr {self.alloc.kind.value} va=0x{self.va:x} (+{self.offset})>"
+
+
+class MemorySpace:
+    """Cluster-wide virtual-address authority and allocation registry."""
+
+    #: Leave a guard gap between allocations so adjacent-range bugs
+    #: surface as lookup failures rather than silent corruption.
+    GUARD = 4096
+
+    def __init__(self) -> None:
+        self._next_va = 0x7F00_0000_0000
+        self._allocs: list = []
+
+    def allocate(
+        self,
+        kind: MemKind,
+        size: int,
+        *,
+        node_id: int,
+        owner: int,
+        device_id: Optional[int] = None,
+        tag: str = "",
+    ) -> Allocation:
+        alloc = Allocation(
+            self, kind, size, node_id, owner, device_id=device_id, base=self._next_va, tag=tag
+        )
+        self._next_va += size + self.GUARD
+        self._allocs.append(alloc)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        if alloc.freed:
+            raise CudaError("double free")
+        alloc.freed = True
+
+    def resolve(self, va: int) -> Ptr:
+        """Reverse-map a virtual address to a live pointer."""
+        for alloc in self._allocs:
+            if not alloc.freed and alloc.contains_va(va):
+                return alloc.ptr(va - alloc.base)
+        raise CudaError(f"virtual address 0x{va:x} does not map to a live allocation")
+
+    def live_bytes(self, kind: Optional[MemKind] = None) -> int:
+        return sum(a.size for a in self._allocs if not a.freed and (kind is None or a.kind is kind))

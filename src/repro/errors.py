@@ -1,0 +1,35 @@
+"""Exception hierarchy for the GDR-SHMEM reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid cluster / runtime configuration."""
+
+
+class CudaError(ReproError):
+    """Errors from the simulated CUDA layer (bad pointers, OOM, ...)."""
+
+
+class IBError(ReproError):
+    """Errors from the simulated InfiniBand verbs layer."""
+
+
+class RegistrationError(IBError):
+    """Memory-registration failures (unpinned range, exhausted cache)."""
+
+
+class ShmemError(ReproError):
+    """OpenSHMEM semantic violations (bad PE, non-symmetric address...)."""
+
+
+class HeapExhausted(ShmemError):
+    """Symmetric heap allocation failed."""
+
+
+class LinkDown(ReproError):
+    """Raised into transfers when failure injection downs a link."""

@@ -1,0 +1,33 @@
+"""Hardware models: links, PCIe topology, GPUs, HCAs, nodes, clusters.
+
+This package models the *communication substrate* of the paper's test
+bed (the Wilkes cluster): dual-socket IvyBridge nodes, NVIDIA K20 GPUs
+and FDR InfiniBand HCAs hanging off PCIe, a QPI inter-socket link, and
+an InfiniBand fabric between nodes.  Timing constants live in
+:mod:`repro.hardware.params` and default to values calibrated against
+the numbers quoted in the paper (Tables II/III and the micro-benchmark
+anchor latencies).
+"""
+
+from repro.hardware.params import HardwareParams, wilkes_params
+from repro.hardware.links import Link, TransferSpec
+from repro.hardware.pcie import PCIeTopology
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.hca import HCA
+from repro.hardware.node import Node, NodeConfig
+from repro.hardware.cluster import ClusterConfig, ClusterHardware, IBFabric
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterHardware",
+    "GPUDevice",
+    "HCA",
+    "HardwareParams",
+    "IBFabric",
+    "Link",
+    "Node",
+    "NodeConfig",
+    "PCIeTopology",
+    "TransferSpec",
+    "wilkes_params",
+]

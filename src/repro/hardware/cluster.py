@@ -1,0 +1,112 @@
+"""Cluster-level hardware: nodes plus the InfiniBand fabric.
+
+The fabric is modeled as a non-blocking switch: each HCA port is a
+contended full-duplex link; the switch core adds latency but no
+contention (Wilkes' FDR fat-tree is non-blocking at the scales the
+paper evaluates).  An inter-node transfer therefore occupies the
+source port egress and the destination port ingress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.links import TransferSpec
+from repro.hardware.node import Node, NodeConfig
+from repro.hardware.params import HardwareParams, wilkes_params
+from repro.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static shape of the whole machine.
+
+    ``pes_per_node`` defaults to one PE per GPU — the deployment used
+    throughout the paper's evaluation.
+    """
+
+    nodes: int = 2
+    node: NodeConfig = field(default_factory=NodeConfig)
+    pes_per_node: int = 0  # 0 -> one PE per GPU (or 1 on GPU-less nodes)
+
+    def resolved_pes_per_node(self) -> int:
+        if self.pes_per_node > 0:
+            return self.pes_per_node
+        return max(1, self.node.gpus)
+
+    @property
+    def npes(self) -> int:
+        return self.nodes * self.resolved_pes_per_node()
+
+    def validate(self) -> "ClusterConfig":
+        if self.nodes < 1:
+            raise ConfigurationError("cluster needs at least one node")
+        if self.pes_per_node < 0:
+            raise ConfigurationError("pes_per_node must be >= 0")
+        self.node.validate()
+        return self
+
+
+class IBFabric:
+    """The switch complex between nodes."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams):
+        self.sim = sim
+        self.params = params
+
+    def wire(self, src_hca, dst_hca, nbytes: int) -> TransferSpec:
+        """Fabric traversal between two HCAs (possibly the same one).
+
+        Same-HCA traffic uses the adapter's internal loopback path,
+        which the paper's intra-node GDR designs exploit (§III-B).
+        """
+        p = self.params
+        spec = TransferSpec(nbytes, label="ibWire")
+        if src_hca is dst_hca:
+            spec.add(src_hca.port.fwd, p.loopback_wire_latency, p.ib_bandwidth)
+            return spec
+        half = p.ib_wire_latency / 2.0
+        spec.add(src_hca.port.fwd, half, p.ib_bandwidth)
+        spec.add(dst_hca.port.rev, half, p.ib_bandwidth)
+        return spec
+
+
+class ClusterHardware:
+    """All nodes plus the fabric, built over one simulator."""
+
+    def __init__(self, sim: Simulator, config: ClusterConfig, params: HardwareParams = None):
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.params = params if params is not None else wilkes_params()
+        self.nodes: List[Node] = [
+            Node(sim, n, config.node, self.params) for n in range(config.nodes)
+        ]
+        self.fabric = IBFabric(sim, self.params)
+
+    # -------------------------------------------------------- PE placement
+    def pe_location(self, pe: int) -> Tuple[int, int]:
+        """Map a PE rank to ``(node_id, local_rank)`` (block placement)."""
+        per = self.config.resolved_pes_per_node()
+        if not 0 <= pe < self.config.npes:
+            raise ConfigurationError(f"PE {pe} out of range (npes={self.config.npes})")
+        return pe // per, pe % per
+
+    def pe_gpu(self, pe: int) -> int:
+        """The GPU device id a PE drives (round-robin over node GPUs)."""
+        node_id, local = self.pe_location(pe)
+        ngpus = len(self.nodes[node_id].gpus)
+        if ngpus == 0:
+            raise ConfigurationError(f"PE {pe} has no GPU on node {node_id}")
+        return local % ngpus
+
+    def same_node(self, pe_a: int, pe_b: int) -> bool:
+        return self.pe_location(pe_a)[0] == self.pe_location(pe_b)[0]
+
+    def node_of(self, pe: int) -> Node:
+        return self.nodes[self.pe_location(pe)[0]]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ClusterHardware nodes={len(self.nodes)} npes={self.config.npes}>"

@@ -1,0 +1,78 @@
+"""GPU device model: memory capacity, copy engines, compute-time model.
+
+Byte storage for device allocations lives in :mod:`repro.cuda.memory`;
+this class models the *timing* side — kernel execution (serialized per
+device, as on a single-context K20 without Hyper-Q across processes)
+and simple roofline estimates used by the application compute models.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ConfigurationError
+from repro.hardware.params import HardwareParams
+from repro.simulator import Resource, Simulator
+from repro.units import GiB
+
+
+class GPUDevice:
+    """One GPU: identity, placement, compute engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        device_id: int,
+        socket: int,
+        params: HardwareParams,
+        mem_capacity: int = 5 * GiB,  # K20: 5 GB GDDR5
+    ):
+        if mem_capacity <= 0:
+            raise ConfigurationError("GPU memory capacity must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.device_id = device_id
+        self.socket = socket
+        self.params = params
+        self.mem_capacity = mem_capacity
+        #: Kernels from all processes sharing the device serialize here.
+        self.compute = Resource(sim, capacity=1, name=f"n{node_id}.gpu{device_id}.sm")
+        self.kernels_launched = 0
+        self.busy_time = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"n{self.node_id}.gpu{self.device_id}"
+
+    # -------------------------------------------------------------- compute
+    def kernel(self, duration: float) -> Generator:
+        """Run a kernel of the given duration (plus launch overhead)."""
+        if duration < 0:
+            raise ConfigurationError(f"negative kernel duration {duration}")
+        req = self.compute.request()
+        yield req
+        try:
+            total = self.params.kernel_launch_overhead + duration
+            yield self.sim.timeout(total, name=f"{self.name}:kernel")
+            self.kernels_launched += 1
+            self.busy_time += total
+        finally:
+            self.compute.release(req)
+
+    def estimate_kernel_time(
+        self,
+        *,
+        flops: float = 0.0,
+        bytes_touched: float = 0.0,
+        efficiency: float = 1.0,
+    ) -> float:
+        """Roofline estimate: max of compute-bound and bandwidth-bound time."""
+        if efficiency <= 0 or efficiency > 1:
+            raise ConfigurationError(f"efficiency must be in (0, 1], got {efficiency}")
+        t_flops = flops / (self.params.gpu_flops * efficiency)
+        t_mem = bytes_touched / (self.params.gpu_mem_bandwidth * efficiency)
+        return max(t_flops, t_mem)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<GPUDevice {self.name} socket={self.socket}>"

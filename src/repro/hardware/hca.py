@@ -1,0 +1,50 @@
+"""InfiniBand host channel adapter model.
+
+The HCA owns a network *port* link into the fabric and bookkeeping for
+posted work requests.  Verbs-level behaviour (queue pairs, completion
+semantics, GDR routing) lives in :mod:`repro.ib.verbs`; this class is
+the timing anchor those verbs charge against.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.links import Link
+from repro.hardware.params import HardwareParams
+from repro.simulator import Resource, Simulator
+
+
+class HCA:
+    """One FDR InfiniBand adapter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        hca_id: int,
+        socket: int,
+        params: HardwareParams,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.hca_id = hca_id
+        self.socket = socket
+        self.params = params
+        #: Network port: fwd = egress to fabric, rev = ingress from fabric.
+        self.port = Link(sim, f"n{node_id}.hca{hca_id}.port")
+        #: The HCA's atomics execution unit serializes atomic ops.
+        self.atomic_unit = Resource(sim, capacity=1, name=f"n{node_id}.hca{hca_id}.atomics")
+        self.messages_tx = 0
+        self.messages_rx = 0
+
+    @property
+    def name(self) -> str:
+        return f"n{self.node_id}.hca{self.hca_id}"
+
+    def count_tx(self) -> None:
+        self.messages_tx += 1
+
+    def count_rx(self) -> None:
+        self.messages_rx += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HCA {self.name} socket={self.socket}>"

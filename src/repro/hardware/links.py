@@ -1,0 +1,194 @@
+"""Timed, contended point-to-point links.
+
+A :class:`Link` has two independent directions, each serialized by a
+FIFO :class:`~repro.simulator.resources.Resource`.  A transfer holds
+its direction for ``latency + nbytes / bandwidth`` (store-and-forward
+per modeled hop; protocols that want pipelining chunk their transfers
+explicitly, exactly like the real runtimes do).
+
+:class:`TransferSpec` is the unit the topology layers hand back: a
+latency, an effective bandwidth, and the set of link directions the
+transfer must occupy.  ``TransferSpec.execute`` is the single code path
+through which *all* simulated data movement charges time, so failure
+injection and tracing hook in here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, LinkDown
+from repro.simulator import Resource, Simulator
+
+
+class LinkDirection:
+    """One direction of a duplex link."""
+
+    __slots__ = ("link", "tag", "resource", "bytes_moved", "transfers", "_down")
+
+    def __init__(self, link: "Link", tag: str, capacity: int):
+        self.link = link
+        self.tag = tag
+        self.resource = Resource(link.sim, capacity=capacity, name=f"{link.name}:{tag}")
+        self.bytes_moved = 0
+        self.transfers = 0
+        self._down = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.link.name}:{self.tag}"
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def fail(self) -> None:
+        """Failure injection: subsequent transfers raise :class:`LinkDown`."""
+        self._down = True
+
+    def repair(self) -> None:
+        self._down = False
+
+    def occupy(self, nbytes: int, latency: float, bandwidth: float) -> Generator:
+        """Hold this direction for the duration of a transfer."""
+        if self._down:
+            raise LinkDown(f"link direction {self.name} is down")
+        req = self.resource.request()
+        yield req
+        try:
+            if self._down:
+                raise LinkDown(f"link direction {self.name} went down")
+            duration = latency + (nbytes / bandwidth if bandwidth else 0.0)
+            yield self.link.sim.timeout(duration)
+            self.bytes_moved += nbytes
+            self.transfers += 1
+        finally:
+            self.resource.release(req)
+
+
+class Link:
+    """A duplex link with per-direction serialization.
+
+    ``capacity`` > 1 models links that can carry several concurrent
+    transfers at full rate each (used for the abstracted IB switch
+    ports, where per-flow bandwidth is enforced by the HCA, not the
+    wire).
+    """
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise ConfigurationError(f"link capacity must be >= 1: {name}")
+        self.sim = sim
+        self.name = name
+        self.fwd = LinkDirection(self, "fwd", capacity)
+        self.rev = LinkDirection(self, "rev", capacity)
+
+    def direction(self, forward: bool) -> LinkDirection:
+        return self.fwd if forward else self.rev
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name}>"
+
+
+@dataclass
+class TransferSpec:
+    """A fully-resolved timed transfer: where the time is charged.
+
+    ``segments`` is an ordered list of ``(direction, latency, bandwidth)``
+    hops.  Hops are traversed store-and-forward; most protocol steps in
+    this reproduction resolve to a single hop with an *effective*
+    bandwidth (see DESIGN.md §2) because the paper's own bottleneck
+    numbers (Table III) are end-to-end effective rates.
+    """
+
+    nbytes: int
+    segments: List[Tuple[LinkDirection, float, float]] = field(default_factory=list)
+    #: Fixed software time charged before the first hop (post overheads).
+    setup: float = 0.0
+    #: Human-readable protocol tag, surfaced in traces and tests.
+    label: str = "transfer"
+
+    def add(self, direction: LinkDirection, latency: float, bandwidth: float) -> "TransferSpec":
+        self.segments.append((direction, latency, bandwidth))
+        return self
+
+    def extend(self, other: "TransferSpec") -> "TransferSpec":
+        """Concatenate another spec's hops (and setup) onto this one."""
+        if other.nbytes != self.nbytes:
+            raise ConfigurationError(
+                f"cannot merge specs of different sizes ({self.nbytes} vs {other.nbytes})"
+            )
+        self.setup += other.setup
+        self.segments.extend(other.segments)
+        return self
+
+    def bottleneck_bandwidth(self) -> float:
+        """Slowest hop's bandwidth (0.0 when every hop is latency-only)."""
+        rates = [bw for _d, _lat, bw in self.segments if bw > 0]
+        return min(rates) if rates else 0.0
+
+    def total_latency(self) -> float:
+        """Uncontended end-to-end duration.
+
+        Hops are *pipelined* (cut-through), as real DMA engines and HCAs
+        are: latencies add, but the payload streams at the bottleneck
+        hop's rate rather than paying every hop's serialization.
+        """
+        t = self.setup + sum(lat for _d, lat, _bw in self.segments)
+        bw = self.bottleneck_bandwidth()
+        if bw > 0:
+            t += self.nbytes / bw
+        return t
+
+    def execute(self, sim: Simulator) -> Generator:
+        """Run the transfer (cut-through across hops).
+
+        All hop directions are acquired in a global deterministic order
+        (no deadlock between overlapping paths), held for the pipelined
+        duration, then released together.
+        """
+        if self.setup:
+            yield sim.timeout(self.setup, name=f"{self.label}:setup")
+        directions: List[LinkDirection] = []
+        seen = set()
+        for d, _lat, _bw in self.segments:
+            if id(d) not in seen:
+                seen.add(id(d))
+                directions.append(d)
+        directions.sort(key=lambda d: d.name)
+        granted = []
+        try:
+            for d in directions:
+                if d.is_down:
+                    raise LinkDown(f"link direction {d.name} is down")
+                req = d.resource.request()
+                yield req
+                granted.append((d, req))
+                if d.is_down:
+                    raise LinkDown(f"link direction {d.name} went down")
+            duration = sum(lat for _d, lat, _bw in self.segments)
+            bw = self.bottleneck_bandwidth()
+            if bw > 0:
+                duration += self.nbytes / bw
+            yield sim.timeout(duration, name=self.label)
+            for d in directions:
+                d.bytes_moved += self.nbytes
+                d.transfers += 1
+        finally:
+            for d, req in granted:
+                d.resource.release(req)
+        return self.nbytes
+
+
+def chunked(nbytes: int, chunk: int) -> Sequence[int]:
+    """Split a transfer into pipeline chunks (last may be short)."""
+    if chunk <= 0:
+        raise ConfigurationError(f"chunk must be positive, got {chunk}")
+    if nbytes <= 0:
+        return []
+    full, rem = divmod(nbytes, chunk)
+    sizes = [chunk] * full
+    if rem:
+        sizes.append(rem)
+    return sizes

@@ -1,0 +1,102 @@
+"""Node blueprint: sockets, GPUs, HCAs, and their PCIe wiring.
+
+The default :class:`NodeConfig` mirrors a Wilkes Tesla-partition node:
+dual-socket IvyBridge with one K20 GPU and one FDR HCA per socket, so
+every GPU has an intra-socket HCA available.  Placement can be skewed
+(e.g. all HCAs on socket 0) to reproduce the paper's inter-socket
+bottleneck discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.hca import HCA
+from repro.hardware.params import HardwareParams
+from repro.hardware.pcie import PCIeTopology
+from repro.simulator import Simulator
+from repro.units import GiB
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Static shape of one node."""
+
+    sockets: int = 2
+    gpus: int = 2
+    hcas: int = 2
+    #: Explicit socket of each GPU / HCA; default round-robin.
+    gpu_sockets: Optional[List[int]] = None
+    hca_sockets: Optional[List[int]] = None
+    gpu_mem_capacity: int = 5 * GiB
+
+    def resolved_gpu_sockets(self) -> List[int]:
+        if self.gpu_sockets is not None:
+            if len(self.gpu_sockets) != self.gpus:
+                raise ConfigurationError("gpu_sockets length mismatch")
+            return list(self.gpu_sockets)
+        return [i % self.sockets for i in range(self.gpus)]
+
+    def resolved_hca_sockets(self) -> List[int]:
+        if self.hca_sockets is not None:
+            if len(self.hca_sockets) != self.hcas:
+                raise ConfigurationError("hca_sockets length mismatch")
+            return list(self.hca_sockets)
+        return [i % self.sockets for i in range(self.hcas)]
+
+    def validate(self) -> "NodeConfig":
+        if self.sockets < 1:
+            raise ConfigurationError("sockets must be >= 1")
+        if self.gpus < 0 or self.hcas < 1:
+            raise ConfigurationError("need hcas >= 1 and gpus >= 0")
+        self.resolved_gpu_sockets()
+        self.resolved_hca_sockets()
+        return self
+
+
+class Node:
+    """One materialized node: devices + PCIe topology."""
+
+    def __init__(self, sim: Simulator, node_id: int, config: NodeConfig, params: HardwareParams):
+        config.validate()
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.params = params
+        gpu_sockets = config.resolved_gpu_sockets()
+        hca_sockets = config.resolved_hca_sockets()
+        self.pcie = PCIeTopology(
+            sim, node_id, params, gpu_sockets, hca_sockets, n_sockets=config.sockets
+        )
+        self.gpus: List[GPUDevice] = [
+            GPUDevice(sim, node_id, i, gpu_sockets[i], params, config.gpu_mem_capacity)
+            for i in range(config.gpus)
+        ]
+        self.hcas: List[HCA] = [
+            HCA(sim, node_id, i, hca_sockets[i], params) for i in range(config.hcas)
+        ]
+
+    def hca_for_gpu(self, gpu_id: int) -> int:
+        """Pick the HCA used for traffic of this GPU.
+
+        Prefers an HCA on the GPU's socket (the intra-socket pairing the
+        paper's Direct-GDR protocol relies on); falls back to HCA 0.
+        """
+        socket = self.gpus[gpu_id].socket
+        for hca in self.hcas:
+            if hca.socket == socket:
+                return hca.hca_id
+        return 0
+
+    def hca_for_host(self) -> int:
+        """HCA used for pure host traffic of this node."""
+        return 0
+
+    def same_socket(self, gpu_id: int, hca_id: int) -> bool:
+        return self.pcie.same_socket(gpu_id, hca_id)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.node_id}: {len(self.gpus)} GPUs, {len(self.hcas)} HCAs>"

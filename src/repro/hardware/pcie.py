@@ -1,0 +1,157 @@
+"""Per-node PCIe topology and path resolution.
+
+The topology owns one PCIe link per device (GPU or HCA), one QPI link
+between the two sockets, and one host-memory link for CPU memcpys.  It
+resolves every intra-node data movement into a
+:class:`~repro.hardware.links.TransferSpec`:
+
+* ``h2d`` / ``d2h``      — cudaMemcpy between host and device memory;
+* ``d2d_local``          — copy inside one GPU;
+* ``d2d_ipc``            — CUDA-IPC peer-to-peer copy between two GPUs;
+* ``host_copy``          — host memcpy (including POSIX-shm targets);
+* ``p2p``                — the PCIe leg of an HCA reading/writing GPU
+  memory (the GPUDirect RDMA path), with Table III effective
+  bandwidths and the inter-socket penalty.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hardware.links import Link, TransferSpec
+from repro.hardware.params import HardwareParams
+from repro.simulator import Simulator
+
+
+class PCIeTopology:
+    """PCIe/QPI wiring of one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: HardwareParams,
+        gpu_sockets: List[int],
+        hca_sockets: List[int],
+        n_sockets: int = 2,
+    ):
+        if n_sockets < 1:
+            raise ConfigurationError("node needs at least one socket")
+        for s in list(gpu_sockets) + list(hca_sockets):
+            if not 0 <= s < n_sockets:
+                raise ConfigurationError(f"device socket {s} out of range (sockets={n_sockets})")
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.n_sockets = n_sockets
+        self.gpu_sockets = list(gpu_sockets)
+        self.hca_sockets = list(hca_sockets)
+        prefix = f"n{node_id}"
+        self.gpu_links: List[Link] = [
+            Link(sim, f"{prefix}.gpu{i}.pcie") for i in range(len(gpu_sockets))
+        ]
+        self.hca_links: List[Link] = [
+            Link(sim, f"{prefix}.hca{i}.pcie") for i in range(len(hca_sockets))
+        ]
+        self.qpi = Link(sim, f"{prefix}.qpi")
+        self.host_mem = Link(sim, f"{prefix}.hostmem", capacity=2)
+
+    # ------------------------------------------------------------- queries
+    def same_socket(self, gpu: int, hca: int) -> bool:
+        """True when GPU ``gpu`` and HCA ``hca`` share a socket."""
+        return self.gpu_sockets[gpu] == self.hca_sockets[hca]
+
+    def gpus_same_socket(self, a: int, b: int) -> bool:
+        return self.gpu_sockets[a] == self.gpu_sockets[b]
+
+    # ------------------------------------------------- host <-> device copies
+    def h2d(self, gpu: int, nbytes: int, *, via_ipc: bool = False) -> TransferSpec:
+        """Synchronous cudaMemcpy host -> device."""
+        p = self.params
+        setup = p.cuda_copy_overhead + (p.cuda_ipc_overhead if via_ipc else 0.0)
+        spec = TransferSpec(nbytes, setup=setup, label="cudaMemcpyH2D")
+        spec.add(self.gpu_links[gpu].fwd, 0.0, p.pcie_h2d_bandwidth)
+        return spec
+
+    def d2h(self, gpu: int, nbytes: int, *, via_ipc: bool = False) -> TransferSpec:
+        """Synchronous cudaMemcpy device -> host."""
+        p = self.params
+        setup = p.cuda_copy_overhead + (p.cuda_ipc_overhead if via_ipc else 0.0)
+        spec = TransferSpec(nbytes, setup=setup, label="cudaMemcpyD2H")
+        spec.add(self.gpu_links[gpu].rev, 0.0, p.pcie_d2h_bandwidth)
+        return spec
+
+    def d2d_local(self, gpu: int, nbytes: int) -> TransferSpec:
+        """Copy within one GPU's device memory (never leaves the card)."""
+        p = self.params
+        spec = TransferSpec(nbytes, setup=p.cuda_copy_overhead, label="cudaMemcpyD2D")
+        spec.add(self.gpu_links[gpu].fwd, 0.0, p.gpu_local_bandwidth)
+        return spec
+
+    def d2d_ipc(self, src_gpu: int, dst_gpu: int, nbytes: int) -> TransferSpec:
+        """CUDA-IPC peer copy between two GPUs of this node.
+
+        Same socket: a true PCIe P2P DMA bounded by the Table III
+        read/write rates.  Across sockets the CUDA driver disables P2P
+        (the QPI path is unusable for peer traffic) and silently stages
+        the copy through host memory — a D2H+H2D double copy at the
+        harmonic-mean rate, exactly as ``cudaMemcpyPeer`` behaves on
+        IvyBridge.
+        """
+        if src_gpu == dst_gpu:
+            return self.d2d_local(src_gpu, nbytes)
+        p = self.params
+        setup = p.cuda_copy_overhead + p.cuda_ipc_overhead
+        same = self.gpus_same_socket(src_gpu, dst_gpu)
+        spec = TransferSpec(nbytes, setup=setup, label="cudaMemcpyP2P")
+        if same:
+            bw = min(
+                p.p2p_bandwidth(read=True, same_socket=True),
+                p.p2p_bandwidth(read=False, same_socket=True),
+            )
+            spec.add(self.gpu_links[src_gpu].rev, 0.0, bw)
+            spec.add(self.gpu_links[dst_gpu].fwd, 0.0, bw)
+            return spec
+        # Host-staged fallback: the payload crosses PCIe twice.
+        bw = 1.0 / (1.0 / p.pcie_d2h_bandwidth + 1.0 / p.pcie_h2d_bandwidth)
+        spec.label = "cudaMemcpyP2P(staged)"
+        spec.add(self.gpu_links[src_gpu].rev, 0.0, bw)
+        spec.add(self.host_mem.fwd, 0.0, bw)
+        spec.add(self.gpu_links[dst_gpu].fwd, p.qpi_latency, bw)
+        return spec
+
+    # ------------------------------------------------------------- host copies
+    def host_copy(self, nbytes: int) -> TransferSpec:
+        """Host memcpy (process heap or POSIX shm segment)."""
+        p = self.params
+        spec = TransferSpec(nbytes, setup=p.host_memcpy_overhead, label="hostMemcpy")
+        spec.add(self.host_mem.fwd, 0.0, p.host_memcpy_bandwidth)
+        return spec
+
+    # ----------------------------------------------------- GDR peer-to-peer leg
+    def p2p(self, hca: int, gpu: int, nbytes: int, *, read: bool) -> TransferSpec:
+        """The PCIe leg of an HCA directly accessing GPU memory (GDR).
+
+        ``read=True``  — HCA fetches the payload *from* device memory
+        (source-side GDR; the slow direction per Table III).
+        ``read=False`` — HCA lands the payload *into* device memory
+        (target-side GDR write).
+        """
+        p = self.params
+        same = self.same_socket(gpu, hca)
+        bw = p.p2p_bandwidth(read=read, same_socket=same)
+        latency = p.p2p_latency + (0.0 if same else p.qpi_latency)
+        label = "gdrP2Pread" if read else "gdrP2Pwrite"
+        spec = TransferSpec(nbytes, label=label)
+        gpu_dir = self.gpu_links[gpu].rev if read else self.gpu_links[gpu].fwd
+        spec.add(gpu_dir, latency, bw)
+        return spec
+
+    def hca_host_leg(self, hca: int, nbytes: int, *, to_host: bool) -> TransferSpec:
+        """The PCIe leg of an HCA reading/writing *host* memory (cheap)."""
+        p = self.params
+        spec = TransferSpec(nbytes, label="hcaHostDMA")
+        direction = self.hca_links[hca].rev if to_host else self.hca_links[hca].fwd
+        spec.add(direction, 0.0, p.ib_bandwidth)
+        return spec

@@ -1,0 +1,27 @@
+"""Simulated InfiniBand verbs: registration, RDMA, send/recv, atomics.
+
+The layer below OpenSHMEM.  :class:`Verbs` resolves each operation into
+timed PCIe + fabric hops, honouring the GPUDirect-RDMA rules:
+
+* an RDMA whose **local** buffer is device memory makes the source HCA
+  *read* the GPU over PCIe P2P (the slow direction, Table III);
+* an RDMA whose **remote** buffer is device memory makes the target HCA
+  *write* the GPU over PCIe P2P (fast intra-socket, poor inter-socket);
+* host buffers use the HCA's ordinary DMA path at full FDR rate;
+* the target *process* is never involved — RDMA is one-sided by
+  construction, which is what the paper's designs exploit.
+"""
+
+from repro.ib.cq import CompletionQueue, WorkCompletion, post_signaled
+from repro.ib.mr import MemoryRegion, RegistrationCache
+from repro.ib.verbs import Endpoint, Verbs
+
+__all__ = [
+    "CompletionQueue",
+    "Endpoint",
+    "MemoryRegion",
+    "RegistrationCache",
+    "Verbs",
+    "WorkCompletion",
+    "post_signaled",
+]

@@ -1,0 +1,121 @@
+"""Completion queues: the verbs notification mechanism.
+
+The runtime layers above consume completions as simulator events, but
+a faithful verbs surface also offers *completion queues*: a signaled
+work request deposits a CQE when it completes, and the application
+polls (or blocks on) the CQ.  This module provides that view —
+``CompletionQueue`` plus ``post_*_signaled`` wrappers that bridge any
+verbs operation into CQE delivery — so code written against a
+poll-the-CQ idiom (like OMB's verbs-level tests) ports directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.errors import IBError
+from repro.simulator import Event, Simulator, Store
+
+_wrid_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class WorkCompletion:
+    """One CQE."""
+
+    wr_id: int
+    opcode: str  # "RDMA_WRITE" | "RDMA_READ" | "SEND" | "FETCH_ADD" | ...
+    status: str  # "SUCCESS" | "ERROR"
+    byte_len: int
+    timestamp: float
+    #: For atomics: the fetched previous value.
+    result: Optional[int] = None
+    #: For errors: the underlying exception.
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "SUCCESS"
+
+
+class CompletionQueue:
+    """FIFO of work completions with polling and blocking consumption."""
+
+    def __init__(self, sim: Simulator, capacity: int = 4096, name: str = "cq"):
+        if capacity < 1:
+            raise IBError("CQ capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._cqes: Store = Store(sim, name=f"{name}.cqes")
+        self.depth = 0
+        self.overflows = 0
+
+    def _deposit(self, cqe: WorkCompletion) -> None:
+        if self.depth >= self.capacity:
+            # Real HCAs raise a fatal async error on CQ overrun; we count
+            # and drop, surfacing the condition via `overflows`.
+            self.overflows += 1
+            return
+        self.depth += 1
+        self._cqes.put(cqe)
+
+    def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
+        """Non-blocking poll, like ``ibv_poll_cq``."""
+        out = []
+        while len(out) < max_entries:
+            cqe = self._cqes.get_nowait()
+            if cqe is None:
+                break
+            self.depth -= 1
+            out.append(cqe)
+        return out
+
+    def wait(self) -> Generator:
+        """Block until one CQE is available (a completion channel)."""
+        cqe = yield self._cqes.get()
+        self.depth -= 1
+        return cqe
+
+    def drain(self, count: int) -> Generator:
+        """Block until ``count`` CQEs have been consumed; returns them."""
+        out = []
+        for _ in range(count):
+            cqe = yield from self.wait()
+            out.append(cqe)
+        return out
+
+
+def post_signaled(
+    verbs,
+    cq: CompletionQueue,
+    opcode: str,
+    gen: Generator,
+    nbytes: int,
+    wr_id: Optional[int] = None,
+):
+    """Run any verbs operation and deposit its CQE on completion.
+
+    Returns the ``wr_id`` immediately (posting is non-blocking); the
+    CQE appears when the operation completes or fails."""
+    wr_id = wr_id if wr_id is not None else next(_wrid_counter)
+    sim = verbs.sim
+
+    def runner() -> Generator:
+        try:
+            result = yield from gen
+        except BaseException as exc:
+            cq._deposit(
+                WorkCompletion(wr_id, opcode, "ERROR", nbytes, sim.now, error=exc)
+            )
+            return
+        value = result if isinstance(result, int) and opcode.startswith(("FETCH", "CMP", "SWAP")) else None
+        cq._deposit(
+            WorkCompletion(wr_id, opcode, "SUCCESS", nbytes, sim.now, result=value)
+        )
+
+    proc = sim.process(runner(), name=f"cq:{opcode}:{wr_id}")
+    proc.defuse()  # outcome is reported via the CQE, never raw
+    return wr_id

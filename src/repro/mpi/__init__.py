@@ -1,0 +1,23 @@
+"""CUDA-aware MPI two-sided emulation (the application baseline).
+
+The original GPULBM [24] that §IV redesigns is a CUDA-aware **MPI**
+code: every halo exchange is a matched send/recv pair.  To reproduce
+the paper's application comparison faithfully, this package provides a
+minimal MVAPICH2-GPU-style two-sided layer over the same simulated
+hardware:
+
+* rendezvous protocol for GPU buffers — data moves only once *both*
+  sides have posted and the RTS/CTS round-trip completed;
+* the transfer itself is the host-staged chunk pipeline
+  (D2H -> IB -> H2D), with the receiver's H2D copies charged to the
+  receiver's links — both processes are occupied for the duration,
+  which is exactly the serialization one-sided puts eliminate;
+* eager path for small host-resident messages.
+
+This is deliberately *not* built on the OpenSHMEM runtime designs: it
+is the independent baseline the paper's Figure 12 compares against.
+"""
+
+from repro.mpi.core import MpiComm, MpiWorld
+
+__all__ = ["MpiComm", "MpiWorld"]

@@ -1,0 +1,6 @@
+"""Reporting: ascii tables, series, and the per-figure experiment index."""
+
+from repro.reporting.format import format_series, format_table
+from repro.reporting.experiments import EXPERIMENTS, Experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "Experiment", "format_series", "format_table", "run_experiment"]

@@ -1,0 +1,56 @@
+"""Plain-text table/series rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ascii table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    series: dict,
+    x_values: Sequence,
+    title: Optional[str] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render multiple named curves over shared x values.
+
+    ``series`` maps a curve name to either a list of y values aligned
+    with ``x_values`` or None (rendered as 'n/s' — not supported, the
+    way Fig 9 omits the baseline)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [str(x)]
+        for name, ys in series.items():
+            if ys is None:
+                row.append("n/s")
+            else:
+                row.append(fmt.format(ys[i]))
+        rows.append(row)
+    return format_table(headers, rows, title)

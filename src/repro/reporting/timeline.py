@@ -1,0 +1,111 @@
+"""Timeline analysis: link utilization and event breakdowns from traces.
+
+Attach a :class:`~repro.simulator.monitor.Trace` to a job's simulator
+and this module turns the fired-event log into per-category time
+breakdowns and a textual activity report — the poor man's Vampir for
+the simulated cluster.  Used by tests to assert *where* time goes
+(e.g. "the baseline spends target-side time the proposed design does
+not") and by users to understand a protocol's anatomy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.cluster import ClusterHardware
+from repro.reporting.format import format_table
+from repro.simulator import Trace
+
+
+#: Event-name prefixes grouped into protocol phases for breakdowns.
+CATEGORIES = (
+    ("rdma_write", "rdma"),
+    ("rdma_read", "rdma"),
+    ("ib_send", "rdma"),
+    ("cudaMemcpy", "cuda-copy"),
+    ("gdrP2P", "gdr-p2p"),
+    ("ibWire", "wire"),
+    ("hostMemcpy", "host-copy"),
+    ("hcaHostDMA", "hca-dma"),
+    ("shmem:", "software"),
+    ("hp:", "pipeline"),
+    ("pgw:", "pipeline"),
+    ("proxy:", "proxy"),
+    ("proxy-get", "proxy"),
+    ("proxy-put", "proxy"),
+    ("mpi:", "mpi"),
+    ("atomic", "atomics"),
+    ("init:", "init"),
+)
+
+
+def categorize(name: str) -> Optional[str]:
+    for prefix, cat in CATEGORIES:
+        if name.startswith(prefix):
+            return cat
+    return None
+
+
+@dataclass
+class EventCount:
+    category: str
+    events: int
+
+    def row(self) -> List[str]:
+        return [self.category, str(self.events)]
+
+
+def event_breakdown(trace: Trace) -> List[EventCount]:
+    """Count fired events per protocol category."""
+    counts: Dict[str, int] = defaultdict(int)
+    for rec in trace.records:
+        cat = categorize(rec.name)
+        if cat:
+            counts[cat] += 1
+    return [EventCount(c, n) for c, n in sorted(counts.items(), key=lambda kv: -kv[1])]
+
+
+def link_utilization(hw: ClusterHardware, elapsed: float) -> List[Tuple[str, int, int, float]]:
+    """Per-direction ``(name, transfers, bytes, avg MB/s over the run)``
+    from the links' own byte counters (no trace needed)."""
+    rows = []
+
+    def add(direction):
+        if direction.transfers:
+            mbps = direction.bytes_moved / elapsed / 1e6 if elapsed > 0 else 0.0
+            rows.append((direction.name, direction.transfers, direction.bytes_moved, mbps))
+
+    for node in hw.nodes:
+        for link in node.pcie.gpu_links + node.pcie.hca_links:
+            add(link.fwd)
+            add(link.rev)
+        add(node.pcie.qpi.fwd)
+        add(node.pcie.qpi.rev)
+        add(node.pcie.host_mem.fwd)
+        for hca in node.hcas:
+            add(hca.port.fwd)
+            add(hca.port.rev)
+    rows.sort(key=lambda r: -r[2])
+    return rows
+
+
+def utilization_table(hw: ClusterHardware, elapsed: float, top: int = 12) -> str:
+    rows = [
+        [name, str(n), f"{b:,}", f"{mbps:,.0f}"]
+        for name, n, b, mbps in link_utilization(hw, elapsed)[:top]
+    ]
+    return format_table(
+        ["link direction", "transfers", "bytes", "avg MB/s"],
+        rows,
+        title="Link utilization (busiest first)",
+    )
+
+
+def breakdown_table(trace: Trace) -> str:
+    return format_table(
+        ["category", "events"],
+        [e.row() for e in event_breakdown(trace)],
+        title="Fired-event breakdown",
+    )

@@ -1,0 +1,61 @@
+"""GDR-aware OpenSHMEM for simulated NVIDIA GPU clusters.
+
+The paper's contribution, reproduced: a CUDA-aware OpenSHMEM with
+host *and* GPU symmetric heaps (``shmalloc(size, domain)``), truly
+one-sided put/get across every H-H/H-D/D-H/D-D configuration, hardware
+atomics (including GDR atomics on GPU-resident words), and collectives
+— under three interchangeable runtime designs:
+
+* ``"naive"``          — host heap only; users stage GPU data manually.
+* ``"host-pipeline"``  — the IPDPS'13 CUDA-aware baseline [15].
+* ``"enhanced-gdr"``   — the proposed design (§III): GDR loopback,
+  Direct GDR, hybrid IPC, Pipeline-GDR-write, and the proxy framework.
+
+Quickstart::
+
+    from repro.shmem import Domain, ShmemJob
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(1024, domain=Domain.GPU)
+        if ctx.my_pe() == 0:
+            buf = ctx.cuda.malloc_host(1024)
+            buf.write(b"hello" * 8)
+            yield from ctx.putmem(sym, buf, 40, pe=1)
+        yield from ctx.barrier_all()
+        return sym.read(5)
+
+    result = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+"""
+
+from repro.shmem.address import SymAddr, SymPtr
+from repro.shmem.capabilities import TABLE_I, Capabilities, capability_rows
+from repro.shmem.constants import Config, Domain, Locality, Op, Protocol
+from repro.shmem.context import ShmemContext
+from repro.shmem.heap import HeapAllocator, SymmetricHeap
+from repro.shmem.job import JobResult, ShmemJob, run_spmd
+from repro.shmem.protocols import Route, UnsupportedConfiguration, make_selector
+from repro.shmem.runtime import Runtime, SYNC_RESERVED
+
+__all__ = [
+    "Capabilities",
+    "Config",
+    "Domain",
+    "HeapAllocator",
+    "JobResult",
+    "Locality",
+    "Op",
+    "Protocol",
+    "Route",
+    "Runtime",
+    "ShmemContext",
+    "ShmemJob",
+    "SymAddr",
+    "SymPtr",
+    "SymmetricHeap",
+    "SYNC_RESERVED",
+    "TABLE_I",
+    "UnsupportedConfiguration",
+    "capability_rows",
+    "make_selector",
+    "run_spmd",
+]

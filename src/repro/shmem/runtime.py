@@ -1,0 +1,706 @@
+"""The OpenSHMEM runtime: heaps, address translation, protocol execution.
+
+One :class:`Runtime` instance serves a whole job.  The *design*
+("naive", "host-pipeline", "enhanced-gdr") chooses the protocol
+selector (Table I / §III); protocol *execution* is shared, so all three
+designs run over identical simulated hardware and differ only in the
+paths they take — which is precisely the comparison the paper makes.
+
+Completion semantics implemented here:
+
+* ``putmem`` returns at **local completion** (source buffer reusable):
+  immediately after the copy for copy-based protocols, after the work
+  request is posted for RDMA-based ones.
+* ``quiet`` blocks until every outstanding remote operation of the
+  calling PE is complete at its target.
+* ``getmem`` blocks until the data is in the local buffer.
+* remote deliveries wake ``wait_until`` watchers on the target PE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.cuda.memory import MemKind, Ptr
+from repro.errors import ShmemError
+from repro.hardware.links import chunked
+from repro.ib.mr import MemoryRegion
+from repro.ib.verbs import Endpoint, Verbs
+from repro.shmem.address import SymAddr
+from repro.shmem.capabilities import TABLE_I, Capabilities
+from repro.shmem.constants import Config, Domain, Locality, Op, Protocol
+from repro.shmem.heap import SymmetricHeap
+from repro.shmem.protocols import ProtocolSelector, Route, make_selector
+from repro.shmem.service import ServiceEngine, ServiceItem
+from repro.shmem.staging import StagingPool
+from repro.simulator import Event, Simulator
+
+#: Bytes reserved at the start of every host heap for runtime-internal
+#: synchronization flags (barrier/bcast/reduce slots).  User shmalloc
+#: offsets start above this.
+SYNC_RESERVED = 4096
+
+
+@dataclass
+class HeapInfo:
+    """Everything the init-time exchange publishes about one heap."""
+
+    heap: SymmetricHeap
+    mr: Optional[MemoryRegion]
+
+
+class Runtime:
+    """Design-parameterized OpenSHMEM runtime over the simulated cluster."""
+
+    def __init__(self, job, design: str, service_thread: bool = False):
+        self.job = job
+        self.design = design
+        #: Model the reference implementation's progress thread (§III-C).
+        self.service_thread = service_thread
+        self.sim: Simulator = job.sim
+        self.hw = job.hw
+        self.params = job.params
+        self.verbs: Verbs = job.verbs
+        self.selector: ProtocolSelector = make_selector(design, self.params)
+        self.caps: Capabilities = TABLE_I[design]
+        self.npes = job.npes
+
+        self.heaps: Dict[Tuple[int, Domain], HeapInfo] = {}
+        #: Source-side (tx) and landing-side (rx) staging pools are
+        #: separate, as in real runtimes — otherwise bidirectional
+        #: streams deadlock on circular slot waits.
+        self.staging: Dict[int, StagingPool] = {}
+        self.rx_staging: Dict[int, StagingPool] = {}
+        self.service: Dict[int, ServiceEngine] = {}
+        self.endpoints: Dict[int, Endpoint] = {}
+        self.proxies: Dict[int, "ProxyDaemon"] = {}
+        self.protocol_counts: Dict[Protocol, int] = {}
+        #: On-the-fly registrations of user (non-heap) buffers.
+        self._mr_cache: Dict[int, MemoryRegion] = {}
+
+        self._build_heaps()
+        self._build_endpoints_and_staging()
+        if design == "enhanced-gdr":
+            self._build_proxies()
+
+    # ====================================================== construction
+    def _build_heaps(self) -> None:
+        job = self.job
+        for pe in range(self.npes):
+            node_id, _ = self.hw.pe_location(pe)
+            host_alloc = job.space.allocate(
+                MemKind.SHM,
+                job.host_heap_size,
+                node_id=node_id,
+                owner=pe,
+                tag=f"pe{pe}.host-heap",
+            )
+            host_heap = SymmetricHeap(pe, Domain.HOST, host_alloc)
+            host_heap.allocator.allocate(SYNC_RESERVED, alignment=8)  # reserve sync area
+            self.heaps[(pe, Domain.HOST)] = HeapInfo(host_heap, MemoryRegion(host_alloc))
+            if self.caps.gpu_domain and len(self.hw.node_of(pe).gpus) > 0:
+                cuda = job.cuda_of(pe)
+                gpu_ptr = cuda.malloc(job.gpu_heap_size, tag=f"pe{pe}.gpu-heap")
+                gpu_heap = SymmetricHeap(pe, Domain.GPU, gpu_ptr.alloc)
+                # GDR designs register the GPU heap with the HCA (§III-A).
+                # The BAR1 window bounds how much device memory the HCA
+                # can map — the very limit that stopped the paper's
+                # large-input LBM runs on Wilkes (§V-C).
+                gpu_mr = None
+                if self._registers_gpu_heap():
+                    if job.gpu_heap_size > self.params.gpu_max_registered:
+                        raise ShmemError(
+                            f"GPU symmetric heap of {job.gpu_heap_size} B exceeds "
+                            f"the registrable window ({self.params.gpu_max_registered} B "
+                            "BAR1 limit); shrink the heap or raise "
+                            "gpu_max_registered — the same configuration limit "
+                            "that blocked the paper's large LBM inputs on Wilkes"
+                        )
+                    gpu_mr = MemoryRegion(gpu_ptr.alloc)
+                self.heaps[(pe, Domain.GPU)] = HeapInfo(gpu_heap, gpu_mr)
+
+    def _registers_gpu_heap(self) -> bool:
+        return self.design.startswith("enhanced-gdr")
+
+    def _build_endpoints_and_staging(self) -> None:
+        job = self.job
+        for pe in range(self.npes):
+            node_id, _ = self.hw.pe_location(pe)
+            node = self.hw.nodes[node_id]
+            try:
+                gpu_id = self.hw.pe_gpu(pe)
+                hca_id = node.hca_for_gpu(gpu_id)
+            except Exception:
+                hca_id = node.hca_for_host()
+            self.endpoints[pe] = self.verbs.endpoint(node_id, hca_id, owner=pe)
+            staging_alloc = job.space.allocate(
+                MemKind.HOST,
+                self.params.pipeline_chunk * self.params.pipeline_depth,
+                node_id=node_id,
+                owner=pe,
+                tag=f"pe{pe}.staging",
+            )
+            self.staging[pe] = StagingPool(
+                self.sim,
+                staging_alloc,
+                MemoryRegion(staging_alloc),
+                self.params.pipeline_chunk,
+                name=f"pe{pe}.staging",
+            )
+            rx_alloc = job.space.allocate(
+                MemKind.HOST,
+                self.params.pipeline_chunk * self.params.pipeline_depth,
+                node_id=node_id,
+                owner=pe,
+                tag=f"pe{pe}.rx-staging",
+            )
+            self.rx_staging[pe] = StagingPool(
+                self.sim,
+                rx_alloc,
+                MemoryRegion(rx_alloc),
+                self.params.pipeline_chunk,
+                name=f"pe{pe}.rx-staging",
+            )
+            self.service[pe] = ServiceEngine(
+                self.sim, pe, self.params.target_progress_poll, always_on=self.service_thread
+            )
+
+    def _build_proxies(self) -> None:
+        from repro.shmem.proxy import ProxyDaemon
+
+        for node_id in range(len(self.hw.nodes)):
+            self.proxies[node_id] = ProxyDaemon(self, node_id)
+
+    # ===================================================== init (timed)
+    def init_pe(self, ctx) -> Generator:
+        """Per-PE timed initialization: heap registration + exchange.
+
+        The descriptor/IPC-handle exchange itself is collective; we
+        charge each PE its registration costs and a small exchange
+        round-trip (§III-A).
+        """
+        p = self.params
+        regions = 2  # host heap + staging
+        if (ctx.pe, Domain.GPU) in self.heaps and self._registers_gpu_heap():
+            regions += 1
+        yield self.sim.timeout(regions * p.mr_register_overhead, name="init:register")
+        yield self.sim.timeout(p.ib_wire_latency * 2, name="init:exchange")
+        return None
+
+    # ------------------------------------------------- symmetry auditing
+    def audit_symmetric_alloc(self, domain: Domain, seq: int, offset: int, pe: int) -> None:
+        """Detect non-collective shmalloc misuse: the ``seq``-th
+        allocation in a domain must land at the same offset on every PE."""
+        if not hasattr(self, "_alloc_ledger"):
+            self._alloc_ledger: Dict[Tuple[Domain, int], int] = {}
+        key = (domain, seq)
+        expected = self._alloc_ledger.setdefault(key, offset)
+        if expected != offset:
+            raise ShmemError(
+                f"symmetric allocation diverged: PE {pe} got offset 0x{offset:x} "
+                f"for {domain.value} allocation #{seq}, others got 0x{expected:x} "
+                "(shmalloc must be called collectively, in the same order)"
+            )
+
+    # ==================================================== lookup helpers
+    def heap_of(self, pe: int, domain: Domain) -> HeapInfo:
+        try:
+            return self.heaps[(pe, domain)]
+        except KeyError:
+            raise ShmemError(
+                f"PE {pe} has no {domain.value} symmetric heap under the "
+                f"{self.design!r} design"
+            ) from None
+
+    def ensure_mr(self, alloc) -> Generator:
+        """Register an arbitrary buffer with the HCA (cached, timed).
+
+        Mirrors MVAPICH2-X's registration cache: the first touch of an
+        allocation pays the pinning cost, later ops a table lookup."""
+        mr = self._mr_cache.get(id(alloc))
+        if mr is not None and not mr.invalidated and not alloc.freed:
+            yield self.sim.timeout(self.params.mr_cache_hit_overhead)
+            return mr
+        yield self.sim.timeout(self.params.mr_register_overhead, name="reg:miss")
+        mr = MemoryRegion(alloc)
+        self._mr_cache[id(alloc)] = mr
+        return mr
+
+    def resolve(self, sym: SymAddr, pe: int) -> Ptr:
+        """Translate a symmetric address to PE ``pe``'s physical pointer."""
+        info = self.heap_of(pe, sym.domain)
+        if not 0 <= sym.offset < info.heap.alloc.size:
+            raise ShmemError(
+                f"symmetric offset 0x{sym.offset:x} outside the "
+                f"{sym.domain.value} heap of {info.heap.alloc.size} bytes"
+            )
+        return info.heap.ptr(sym.offset)
+
+    def locality(self, ctx, pe: int) -> Locality:
+        if pe == ctx.pe:
+            return Locality.SELF
+        if self.hw.same_node(ctx.pe, pe):
+            return Locality.INTRA_NODE
+        return Locality.INTER_NODE
+
+    def _socket_flags(self, ctx, pe: int) -> Tuple[bool, bool]:
+        """(local_same_socket, remote_same_socket) for GPU<->HCA pairing."""
+
+        def flag(p: int) -> bool:
+            node = self.hw.node_of(p)
+            if not node.gpus:
+                return True
+            gpu = self.hw.pe_gpu(p)
+            return node.same_socket(gpu, self.endpoints[p].hca_id)
+
+        return flag(ctx.pe), flag(pe)
+
+    def _check_pe(self, pe: int) -> None:
+        if not 0 <= pe < self.npes:
+            raise ShmemError(f"target PE {pe} out of range (npes={self.npes})")
+
+    def _count(self, route: Route) -> None:
+        self.protocol_counts[route.protocol] = self.protocol_counts.get(route.protocol, 0) + 1
+
+    def _notify(self, pe: int) -> None:
+        self.job.contexts[pe].memory_changed()
+
+    @staticmethod
+    def _bridge_failure(proc: Event, gate: Event) -> None:
+        """If a background transfer dies before its gate event (e.g.
+        ``posted``) fires, fail the gate so the waiter errors instead of
+        hanging."""
+
+        def relay(ev: Event) -> None:
+            if ev.exception is not None and not gate.triggered:
+                gate.fail(ev.exception)
+
+        proc.callbacks.append(relay)
+
+    # ============================================================== put
+    def putmem(self, ctx, dst: SymAddr, src: Ptr, nbytes: int, pe: int) -> Generator:
+        """One-sided put; returns at local completion.  See module docs."""
+        self._check_pe(pe)
+        if nbytes <= 0:
+            raise ShmemError(f"putmem of {nbytes} bytes")
+        p = self.params
+        yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
+        config = Config.of(src.kind is MemKind.DEVICE, dst.domain is Domain.GPU)
+        locality = self.locality(ctx, pe)
+        local_ss, remote_ss = self._socket_flags(ctx, pe)
+        route = self.selector.select(
+            Op.PUT, config, locality, nbytes,
+            local_same_socket=local_ss, remote_same_socket=remote_ss,
+        )
+        self._count(route)
+        yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
+        dst_ptr = self.resolve(dst, pe)
+        handler = self._PUT_HANDLERS[route.protocol]
+        t0 = self.sim.now
+        yield from handler(self, ctx, route, src, dst, dst_ptr, nbytes, pe)
+        ctx.probe.sample(f"put:{route.protocol.value}", self.sim.now - t0)
+        return None
+
+    # --- copy-based puts (blocking; delivery == return) ----------------
+    def _put_copy(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        yield from ctx.cuda.memcpy(dst_ptr, src, nbytes)
+        self._notify(pe)
+
+    def _put_staged_host(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        """Baseline's two-copy intra-node path (stage through own host heap)."""
+        offset = 0
+        for csize in chunked(nbytes, self.params.pipeline_chunk):
+            slot = yield from self.staging[ctx.pe].acquire()
+            try:
+                yield from ctx.cuda.memcpy(slot.ptr, src + offset, csize)
+                yield from ctx.cuda.memcpy(dst_ptr + offset, slot.ptr, csize)
+            finally:
+                self.staging[ctx.pe].release(slot)
+            offset += csize
+        self._notify(pe)
+
+    # --- RDMA-based puts (return at post; completion tracked) ----------
+    def _remote_mr(self, dst: SymAddr, pe: int) -> MemoryRegion:
+        info = self.heap_of(pe, dst.domain)
+        if info.mr is None:
+            raise ShmemError(
+                f"{dst.domain.value} heap of PE {pe} is not registered with the "
+                f"HCA under the {self.design!r} design"
+            )
+        return info.mr
+
+    def _put_rdma(self, ctx, route, src, dst, dst_ptr, nbytes, pe, *, loopback: bool) -> Generator:
+        mr = self._remote_mr(dst, pe)
+        posted = self.sim.event("put:posted")
+        delivered = self.sim.event("put:delivered")
+        delivered.callbacks.append(lambda _ev: self._notify(pe))
+        remote_hca = ctx.endpoint.hca_id if loopback else None
+        proc = self.sim.process(
+            self.verbs.rdma_write(
+                ctx.endpoint, src, mr, dst.offset, nbytes,
+                remote_hca=remote_hca, delivered=delivered, posted=posted,
+            ),
+            name=f"pe{ctx.pe}:rdma-put",
+        )
+        ctx.track(proc)
+        self._bridge_failure(proc, posted)
+        yield posted
+
+    def _put_gdr_loopback(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        yield from self._put_rdma(ctx, route, src, dst, dst_ptr, nbytes, pe, loopback=True)
+
+    def _put_direct_gdr(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        yield from self._put_rdma(ctx, route, src, dst, dst_ptr, nbytes, pe, loopback=False)
+
+    def _put_pipeline_gdr_write(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        """Proposed large-message put (Fig 4 dotted): D2H staging chunks
+        + RDMA written straight to the final destination (GDR when the
+        destination is device memory).  Returns once the last staging
+        copy is done and its write posted — the paper's stated put-return
+        point (§III-C)."""
+        mr = self._remote_mr(dst, pe)
+        offset = 0
+        last_posted: Optional[Event] = None
+        for csize in chunked(nbytes, self.params.pipeline_chunk):
+            slot = yield from self.staging[ctx.pe].acquire()
+            yield from ctx.cuda.memcpy(slot.ptr, src + offset, csize)
+            posted = self.sim.event("pgw:posted")
+            proc = self.sim.process(
+                self._write_then_release(ctx, slot, mr, dst.offset + offset, csize, pe, posted),
+                name=f"pe{ctx.pe}:pgw",
+            )
+            ctx.track(proc)
+            self._bridge_failure(proc, posted)
+            last_posted = posted
+            offset += csize
+        if last_posted is not None:
+            yield last_posted
+
+    def _write_then_release(self, ctx, slot, mr, offset, csize, pe, posted) -> Generator:
+        try:
+            yield from self.verbs.rdma_write(
+                ctx.endpoint, slot.ptr, mr, offset, csize, posted=posted
+            )
+        finally:
+            self.staging[ctx.pe].release(slot)
+        self._notify(pe)
+
+    def _put_host_pipeline(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        """Baseline inter-node pipeline (Fig 1): D2H + IB + *target-side*
+        H2D.  The final copy is queued on the target's service engine and
+        only progresses while the target is inside the runtime."""
+        p = self.params
+        yield self.sim.timeout(p.pipeline_handshake_overhead, name="hp:handshake")
+        target_pool = self.rx_staging[pe]
+        target_mr = target_pool.mr
+        offset = 0
+        for csize in chunked(nbytes, p.pipeline_chunk):
+            src_slot = yield from self.staging[ctx.pe].acquire()
+            yield from ctx.cuda.memcpy(src_slot.ptr, src + offset, csize)
+            tgt_slot = yield from target_pool.acquire()
+            done = self.sim.event("hp:done")
+            proc = self.sim.process(
+                self._hp_wire_and_finish(
+                    ctx, src_slot, tgt_slot, target_mr, dst_ptr, offset, csize, pe, done
+                ),
+                name=f"pe{ctx.pe}:hp",
+            )
+            ctx.track(proc)
+            ctx.track(done)
+            offset += csize
+
+    def _hp_wire_and_finish(
+        self, ctx, src_slot, tgt_slot, target_mr, dst_ptr, offset, csize, pe, done
+    ) -> Generator:
+        try:
+            yield from self.verbs.rdma_write(
+                ctx.endpoint, src_slot.ptr, target_mr, tgt_slot.offset, csize
+            )
+        finally:
+            self.staging[ctx.pe].release(src_slot)
+        target_ctx = self.job.contexts[pe]
+        runtime = self
+
+        def finish() -> Generator:
+            try:
+                yield from target_ctx.cuda.memcpy(dst_ptr + offset, tgt_slot.ptr, csize)
+            finally:
+                runtime.rx_staging[pe].release(tgt_slot)
+            runtime._notify(pe)
+
+        self.service[pe].submit(ServiceItem(run=finish, done=done, label="hp:h2d"))
+
+    def _put_proxy(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        from repro.shmem.proxy import ProxyRequest
+
+        p = self.params
+        target_node, _ = self.hw.pe_location(pe)
+        proxy = self.proxies[target_node]
+        mr_needed = dst.domain is Domain.GPU
+        proxy_mr = proxy.staging.mr
+        offset = 0
+        for csize in chunked(nbytes, p.pipeline_chunk):
+            # Source-side stage when the source buffer is device memory.
+            if src.kind is MemKind.DEVICE:
+                src_slot = yield from self.staging[ctx.pe].acquire()
+                yield from ctx.cuda.memcpy(src_slot.ptr, src + offset, csize)
+                wire_src = src_slot.ptr
+            else:
+                src_slot = None
+                wire_src = src + offset
+            pslot = yield from proxy.staging.acquire()
+            done = self.sim.event("proxy-put:done")
+            proc = self.sim.process(
+                self._proxy_put_chunk(
+                    ctx, wire_src, src_slot, proxy, proxy_mr, pslot, dst_ptr, offset, csize, pe, done
+                ),
+                name=f"pe{ctx.pe}:proxy-put",
+            )
+            ctx.track(proc)
+            ctx.track(done)
+            offset += csize
+
+    def _proxy_put_chunk(
+        self, ctx, wire_src, src_slot, proxy, proxy_mr, pslot, dst_ptr, offset, csize, pe, done
+    ) -> Generator:
+        from repro.shmem.proxy import ProxyRequest
+
+        try:
+            yield from self.verbs.rdma_write(
+                ctx.endpoint, wire_src, proxy_mr, pslot.offset, csize
+            )
+        finally:
+            if src_slot is not None:
+                self.staging[ctx.pe].release(src_slot)
+        yield self.sim.timeout(self.params.proxy_signal_overhead, name="proxy:signal")
+        proxy.submit(
+            ProxyRequest(
+                kind="put_h2d",
+                slot=pslot,
+                dst_ptr=dst_ptr + offset,
+                nbytes=csize,
+                target_pe=pe,
+                done=done,
+            )
+        )
+
+    _PUT_HANDLERS = {
+        Protocol.LOCAL_COPY: _put_copy,
+        Protocol.SHM_COPY: _put_copy,
+        Protocol.IPC_COPY: _put_copy,
+        Protocol.SHM_DIRECT_COPY: _put_copy,
+        Protocol.STAGED_HOST_COPY: _put_staged_host,
+        Protocol.GDR_LOOPBACK: _put_gdr_loopback,
+        Protocol.DIRECT_GDR: _put_direct_gdr,
+        Protocol.RDMA_HOST: _put_direct_gdr,
+        Protocol.PIPELINE_GDR_WRITE: _put_pipeline_gdr_write,
+        Protocol.HOST_PIPELINE: _put_host_pipeline,
+        Protocol.PROXY: _put_proxy,
+    }
+
+    # ============================================================== get
+    def getmem(self, ctx, dst: Ptr, src: SymAddr, nbytes: int, pe: int) -> Generator:
+        """One-sided get; blocks until the data is locally available."""
+        self._check_pe(pe)
+        if nbytes <= 0:
+            raise ShmemError(f"getmem of {nbytes} bytes")
+        p = self.params
+        yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
+        config = Config.of(dst.kind is MemKind.DEVICE, src.domain is Domain.GPU)
+        locality = self.locality(ctx, pe)
+        local_ss, remote_ss = self._socket_flags(ctx, pe)
+        route = self.selector.select(
+            Op.GET, config, locality, nbytes,
+            local_same_socket=local_ss, remote_same_socket=remote_ss,
+        )
+        self._count(route)
+        yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
+        src_ptr = self.resolve(src, pe)
+        handler = self._GET_HANDLERS[route.protocol]
+        t0 = self.sim.now
+        yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
+        ctx.probe.sample(f"get:{route.protocol.value}", self.sim.now - t0)
+        ctx.memory_changed()
+        return None
+
+    def _get_copy(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        yield from ctx.cuda.memcpy(dst, src_ptr, nbytes)
+
+    def _get_staged_host(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        """Baseline's two-copy intra-node get (device -> staging -> host)."""
+        offset = 0
+        for csize in chunked(nbytes, self.params.pipeline_chunk):
+            slot = yield from self.staging[ctx.pe].acquire()
+            try:
+                yield from ctx.cuda.memcpy(slot.ptr, src_ptr + offset, csize)
+                yield from ctx.cuda.memcpy(dst + offset, slot.ptr, csize)
+            finally:
+                self.staging[ctx.pe].release(slot)
+            offset += csize
+
+    def _get_rdma(self, ctx, route, dst, src, src_ptr, nbytes, pe, *, loopback: bool) -> Generator:
+        mr = self._remote_mr(src, pe)
+        remote_hca = ctx.endpoint.hca_id if loopback else None
+        yield from self.verbs.rdma_read(
+            ctx.endpoint, dst, mr, src.offset, nbytes, remote_hca=remote_hca
+        )
+
+    def _get_gdr_loopback(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        yield from self._get_rdma(ctx, route, dst, src, src_ptr, nbytes, pe, loopback=True)
+
+    def _get_direct_gdr(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        yield from self._get_rdma(ctx, route, dst, src, src_ptr, nbytes, pe, loopback=False)
+
+    def _get_host_pipeline(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        """Baseline inter-node get: ask the *remote process* to push the
+        data back through the host pipeline (two-sided in disguise)."""
+        p = self.params
+        yield self.sim.timeout(p.pipeline_handshake_overhead, name="hp-get:handshake")
+        remote_ctx = self.job.contexts[pe]
+        my_pool = self.rx_staging[ctx.pe]
+        my_mr = my_pool.mr
+        done = self.sim.event("hp-get:done")
+        runtime = self
+        requester = ctx
+
+        def respond() -> Generator:
+            offset = 0
+            for csize in chunked(nbytes, p.pipeline_chunk):
+                rslot = yield from runtime.staging[pe].acquire()
+                mslot = yield from my_pool.acquire()
+                try:
+                    yield from remote_ctx.cuda.memcpy(rslot.ptr, src_ptr + offset, csize)
+                    yield from runtime.verbs.rdma_write(
+                        runtime.endpoints[pe], rslot.ptr, my_mr, mslot.offset, csize
+                    )
+                    yield from requester.cuda.memcpy(dst + offset, mslot.ptr, csize)
+                finally:
+                    runtime.staging[pe].release(rslot)
+                    my_pool.release(mslot)
+                offset += csize
+
+        self.service[pe].submit(ServiceItem(run=respond, done=done, label="hp:get"))
+        yield done
+
+    def _get_proxy(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        """Proposed large get: the *remote proxy* pipelines the data back
+        (Fig 5) — reverse Pipeline-GDR-write, no remote PE involvement."""
+        from repro.shmem.proxy import ProxyRequest
+
+        p = self.params
+        remote_node, _ = self.hw.pe_location(pe)
+        proxy = self.proxies[remote_node]
+        # Signal crosses the fabric to the remote proxy.
+        yield self.sim.timeout(
+            p.proxy_signal_overhead + p.rdma_post_overhead + p.ib_wire_latency,
+            name="proxy:signal",
+        )
+        local_ss, _ = self._socket_flags(ctx, pe)
+        stage_at_requester = dst.kind is MemKind.DEVICE and not local_ss
+        dst_mr = None
+        if not stage_at_requester:
+            dst_mr = yield from self.ensure_mr(dst.alloc)
+        done = self.sim.event("proxy-get:done")
+        proxy.submit(
+            ProxyRequest(
+                kind="get_pipeline",
+                src_ptr=src_ptr,
+                dst_ptr=dst,
+                dst_mr=dst_mr,
+                nbytes=nbytes,
+                requester_pe=ctx.pe,
+                target_pe=pe,
+                stage_at_requester=stage_at_requester,
+                done=done,
+            )
+        )
+        yield done
+
+    _GET_HANDLERS = {
+        Protocol.LOCAL_COPY: _get_copy,
+        Protocol.SHM_COPY: _get_copy,
+        Protocol.IPC_COPY: _get_copy,
+        Protocol.SHM_DIRECT_COPY: _get_copy,
+        Protocol.STAGED_HOST_COPY: _get_staged_host,
+        Protocol.GDR_LOOPBACK: _get_gdr_loopback,
+        Protocol.DIRECT_GDR: _get_direct_gdr,
+        Protocol.RDMA_HOST: _get_direct_gdr,
+        Protocol.HOST_PIPELINE: _get_host_pipeline,
+        Protocol.PROXY: _get_proxy,
+    }
+
+    # ======================================================== ordering
+    def quiet(self, ctx) -> Generator:
+        """Block until every outstanding op of this PE completed remotely.
+
+        Failed background operations (e.g. a downed link) re-raise here,
+        the completion point one-sided semantics prescribe."""
+        while ctx.pending:
+            batch, ctx.pending[:] = list(ctx.pending), []
+            live = [ev for ev in batch if not ev.processed]
+            if live:
+                yield self.sim.all_of(live)  # raises on any failure
+            for ev in batch:
+                if ev.processed and not ev.ok:
+                    raise ev.exception
+        return None
+
+    def fence(self, ctx) -> Generator:
+        """Per-target ordering.  Deliveries already complete in post
+        order per destination in this model, so fence == quiet."""
+        yield from self.quiet(ctx)
+
+    # ========================================================= atomics
+    def _atomic_common(self, ctx, sym: SymAddr, pe: int) -> MemoryRegion:
+        """Validate the target and fetch its registered region.  Every
+        design supports host-heap atomics (the host heap is always
+        registered); GPU-resident atomics additionally need the GDR
+        registration only the enhanced designs perform (§III-D)."""
+        self._check_pe(pe)
+        return self._remote_mr(sym, pe)
+
+    def atomic_fetch_add(self, ctx, sym: SymAddr, value: int, pe: int, nbytes: int = 8) -> Generator:
+        p = self.params
+        yield self.sim.timeout(p.shmem_dispatch_overhead)
+        mr = self._atomic_common(ctx, sym, pe)
+        old = yield from self.verbs.fetch_add(ctx.endpoint, mr, sym.offset, value, nbytes)
+        self._notify(pe)
+        return old
+
+    def atomic_compare_swap(
+        self, ctx, sym: SymAddr, compare: int, swap: int, pe: int, nbytes: int = 8
+    ) -> Generator:
+        p = self.params
+        yield self.sim.timeout(p.shmem_dispatch_overhead)
+        mr = self._atomic_common(ctx, sym, pe)
+        old = yield from self.verbs.compare_swap(ctx.endpoint, mr, sym.offset, compare, swap, nbytes)
+        self._notify(pe)
+        return old
+
+    def atomic_swap(self, ctx, sym: SymAddr, value: int, pe: int, nbytes: int = 8) -> Generator:
+        p = self.params
+        yield self.sim.timeout(p.shmem_dispatch_overhead)
+        mr = self._atomic_common(ctx, sym, pe)
+        old = yield from self.verbs.swap(ctx.endpoint, mr, sym.offset, value, nbytes)
+        self._notify(pe)
+        return old
+
+    def atomic_fetch(self, ctx, sym: SymAddr, pe: int, nbytes: int = 8) -> Generator:
+        old = yield from self.atomic_fetch_add(ctx, sym, 0, pe, nbytes)
+        return old
+
+    def atomic_set(self, ctx, sym: SymAddr, value: int, pe: int, nbytes: int = 8) -> Generator:
+        yield from self.atomic_swap(ctx, sym, value, pe, nbytes)
+        return None
+
+    # ======================================================== shmem_ptr
+    def shmem_ptr(self, ctx, sym: SymAddr, pe: int) -> Optional[Ptr]:
+        """Direct load/store pointer to a peer's symmetric object, when
+        the hardware allows it (same node: shm for host, IPC for GPU)."""
+        self._check_pe(pe)
+        if not self.hw.same_node(ctx.pe, pe):
+            return None
+        if sym.domain is Domain.GPU and (pe, Domain.GPU) not in self.heaps:
+            return None
+        return self.resolve(sym, pe)

@@ -1,0 +1,221 @@
+"""Typed, strided, and non-blocking data movement.
+
+The OpenSHMEM standard layers a wide typed API over ``putmem`` /
+``getmem``; this module provides that family for the simulated
+runtime:
+
+* ``put`` / ``get`` over numpy arrays (dtype-checked against nothing —
+  symmetric objects are raw bytes, the caller picks the view);
+* scalar ``p`` / ``g`` convenience ops;
+* ``iput`` / ``iget`` — strided element transfers.  Real OpenSHMEM
+  implementations move element-by-element, paying a per-element cost;
+  we move the bytes in one pass but charge the same per-element
+  software cost plus the wire term, so the (notoriously poor) strided
+  performance shape is preserved without exploding the event count;
+* ``putmem_nbi`` / ``getmem_nbi`` — explicit non-blocking ops whose
+  completion is deferred to ``quiet``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Union
+
+import numpy as np
+
+from repro.cuda.memory import Ptr
+from repro.errors import ShmemError
+from repro.shmem.address import SymAddr, SymPtr
+
+
+class TypedOps:
+    """Mixin for :class:`~repro.shmem.context.ShmemContext`."""
+
+    # ------------------------------------------------------- array put/get
+    def put_array(self, dst: Union[SymPtr, SymAddr], values: np.ndarray, pe: int) -> Generator:
+        """Put a numpy array into a symmetric object on ``pe``.
+
+        The array is staged through a host bounce buffer (the caller's
+        local data is ordinary Python/numpy memory, not simulated device
+        memory)."""
+        values = np.ascontiguousarray(values)
+        nbytes = values.nbytes
+        buf = self.cuda.malloc_host(nbytes, tag="put_array")
+        try:
+            buf.as_array(values.dtype, values.size)[:] = values.reshape(-1)
+            yield from self.putmem(dst, buf, nbytes, pe)
+            # putmem snapshots at local completion; safe to free after.
+            yield from self.quiet()
+        finally:
+            self.cuda.free(buf)
+        return None
+
+    def get_array(self, src: Union[SymPtr, SymAddr], count: int, dtype, pe: int) -> Generator:
+        """Fetch ``count`` elements of ``dtype`` from ``pe``; returns ndarray."""
+        dt = np.dtype(dtype)
+        nbytes = count * dt.itemsize
+        buf = self.cuda.malloc_host(nbytes, tag="get_array")
+        try:
+            yield from self.getmem(buf, src, nbytes, pe)
+            out = np.array(buf.as_array(dt, count), copy=True)
+        finally:
+            self.cuda.free(buf)
+        return out
+
+    # ----------------------------------------------------------- scalars
+    def p(self, dst: Union[SymPtr, SymAddr], value, pe: int, dtype="float64") -> Generator:
+        """``shmem_p``: single-element put."""
+        yield from self.put_array(dst, np.array([value], dtype=dtype), pe)
+        return None
+
+    def g(self, src: Union[SymPtr, SymAddr], pe: int, dtype="float64") -> Generator:
+        """``shmem_g``: single-element get."""
+        arr = yield from self.get_array(src, 1, dtype, pe)
+        return arr[0].item()
+
+    # ------------------------------------------------------------ strided
+    def iput(
+        self,
+        dst: Union[SymPtr, SymAddr],
+        values: np.ndarray,
+        tst: int,
+        sst: int,
+        nelems: int,
+        pe: int,
+    ) -> Generator:
+        """``shmem_iput``: strided put — source element ``i * sst`` lands
+        at index ``i * tst`` of the symmetric target (strides in
+        elements).  Moves element-by-element, exactly like reference
+        OpenSHMEM implementations — which is why strided transfers are
+        famously latency-bound (one put's software cost per element)."""
+        if tst < 1 or sst < 1:
+            raise ShmemError(f"strides must be >= 1 (got tst={tst}, sst={sst})")
+        values = np.ascontiguousarray(values)
+        dt = values.dtype
+        esize = dt.itemsize
+        if nelems > 0 and (nelems - 1) * sst >= values.size:
+            raise ShmemError("iput source stride walks off the source array")
+        sym = dst.addr if isinstance(dst, SymPtr) else dst
+        buf = self.cuda.malloc_host(max(esize, 8), tag="iput")
+        try:
+            for i in range(nelems):
+                buf.as_array(dt, 1)[0] = values[i * sst]
+                # putmem snapshots at local completion, so the single
+                # bounce element is immediately reusable.
+                yield from self.putmem(sym + i * tst * esize, buf, esize, pe)
+        finally:
+            self.cuda.free(buf)
+        return None
+
+    def iget(
+        self,
+        src: Union[SymPtr, SymAddr],
+        tst: int,
+        sst: int,
+        nelems: int,
+        pe: int,
+        dtype="float64",
+    ) -> Generator:
+        """``shmem_iget``: strided get; returns the ``nelems`` gathered
+        elements (one blocking round trip per element, as in reference
+        implementations)."""
+        if tst < 1 or sst < 1:
+            raise ShmemError(f"strides must be >= 1 (got tst={tst}, sst={sst})")
+        dt = np.dtype(dtype)
+        esize = dt.itemsize
+        sym = src.addr if isinstance(src, SymPtr) else src
+        span = (nelems - 1) * tst + 1 if nelems else 0
+        out = np.zeros(span, dtype=dt)
+        buf = self.cuda.malloc_host(max(esize, 8), tag="iget")
+        try:
+            for i in range(nelems):
+                yield from self.getmem(buf, sym + i * sst * esize, esize, pe)
+                out[i * tst] = buf.as_array(dt, 1)[0]
+        finally:
+            self.cuda.free(buf)
+        return out
+
+    # ------------------------------------------------------- non-blocking
+    def putmem_nbi(self, dst: Union[SymPtr, SymAddr], src: Ptr, nbytes: int, pe: int):
+        """``shmem_putmem_nbi``: returns immediately; the transfer (and
+        even its local completion) is deferred — ``quiet`` completes it.
+
+        Note: per the standard, the source buffer may not be modified
+        until after ``quiet``."""
+        sym = dst.addr if isinstance(dst, SymPtr) else dst
+
+        def op():
+            yield from self.putmem(sym, src, nbytes, pe)
+
+        proc = self.sim.process(op(), name=f"pe{self.pe}:put_nbi")
+        self.track(proc)
+        return proc
+
+    def getmem_nbi(self, dst: Ptr, src: Union[SymPtr, SymAddr], nbytes: int, pe: int):
+        """``shmem_getmem_nbi``: non-blocking get, completed by ``quiet``."""
+        sym = src.addr if isinstance(src, SymPtr) else src
+
+        def op():
+            yield from self.getmem(dst, sym, nbytes, pe)
+
+        proc = self.sim.process(op(), name=f"pe{self.pe}:get_nbi")
+        self.track(proc)
+        return proc
+
+    # --------------------------------------------------- put-with-signal
+    def putmem_signal(
+        self,
+        dst: Union[SymPtr, SymAddr],
+        src: Ptr,
+        nbytes: int,
+        signal: Union[SymPtr, SymAddr],
+        signal_value: int,
+        pe: int,
+    ) -> Generator:
+        """``shmem_putmem_signal``: deliver data, then set the signal
+        word on the target — with a hardware-ordered guarantee that a
+        ``wait_until`` on the signal observes the data.
+
+        This replaces the classic ``put; quiet; put flag; quiet`` idiom
+        with one call whose signal write is chained off the data's
+        *delivery* (not the caller's quiet), so the source keeps
+        running while the signal is still in flight."""
+        sym = dst.addr if isinstance(dst, SymPtr) else dst
+        sig = signal.addr if isinstance(signal, SymPtr) else signal
+        # Issue the data put; returns at local completion with its
+        # remote completions tracked in self.pending.
+        before = list(self.pending)
+        yield from self.putmem(sym, src, nbytes, pe)
+        data_events = [ev for ev in self.pending if ev not in before]
+
+        ctx = self
+
+        def chase() -> Generator:
+            # Wait for the data's remote completion, then signal.
+            live = [ev for ev in data_events if not ev.processed]
+            if live:
+                yield ctx.sim.all_of(live)
+            for ev in data_events:
+                if ev.processed and not ev.ok:
+                    raise ev.exception
+            buf = ctx.cuda.malloc_host(8, tag="signal")
+            try:
+                buf.write(int(signal_value).to_bytes(8, "little"))
+                pre = list(ctx.pending)
+                yield from ctx.putmem(sig, buf, 8, pe)
+                # Wait only the signal's own completions (a full quiet
+                # here would wait on this very process — deadlock).
+                sig_events = [
+                    ev for ev in ctx.pending if ev not in pre and ev is not proc
+                ]
+                live = [ev for ev in sig_events if not ev.processed]
+                if live:
+                    yield ctx.sim.all_of(live)
+                for ev in sig_events:
+                    if ev.processed and not ev.ok:
+                        raise ev.exception
+            finally:
+                ctx.cuda.free(buf)
+
+        proc = self.sim.process(chase(), name=f"pe{self.pe}:put_signal")
+        self.track(proc)
+        return None

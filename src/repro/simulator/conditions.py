@@ -1,0 +1,115 @@
+"""Composite condition events: wait for all / any of a set of events.
+
+``AllOf`` succeeds when every child has succeeded; it fails as soon as
+any child fails (remaining children are defused so their failures do
+not abort the run).  ``AnyOf`` succeeds with the first child outcome.
+Both succeed with a :class:`ConditionValue` mapping each *triggered*
+child event to its value, preserving submission order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.simulator.core import Event, SimulationError, Simulator
+
+
+class ConditionValue:
+    """Ordered mapping of child event -> value for fired children."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self._values: Dict[int, Any] = {}
+
+    def _add(self, event: Event) -> None:
+        self.events.append(event)
+        self._values[id(event)] = event._value
+
+    def __getitem__(self, event: Event) -> Any:
+        return self._values[id(event)]
+
+    def __contains__(self, event: Event) -> bool:
+        return id(event) in self._values
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def values(self) -> List[Any]:
+        """Child values in completion order."""
+        return [self._values[id(e)] for e in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ConditionValue {len(self.events)} events>"
+
+
+class _Condition(Event):
+    __slots__ = ("_children", "_pending", "_result")
+
+    def __init__(self, sim: Simulator, children: List[Event], name: str):
+        super().__init__(sim, name)
+        for child in children:
+            if child.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._children = children
+        self._pending = len(children)
+        self._result = ConditionValue()
+        if not children:
+            self.succeed(self._result)
+            return
+        for child in children:
+            if child._processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds once every child event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Simulator, children: List[Event], name: str = "all_of"):
+        super().__init__(sim, children, name)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            if child._exc is not None:
+                child.defuse()
+            return
+        if child._exc is not None:
+            child.defuse()
+            self.fail(child._exc)
+            return
+        self._result._add(child)
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._result)
+
+
+class AnyOf(_Condition):
+    """Succeeds (or fails) with the first child outcome."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Simulator, children: List[Event], name: str = "any_of"):
+        if not children:
+            raise SimulationError("AnyOf requires at least one event")
+        super().__init__(sim, children, name)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            if child._exc is not None:
+                child.defuse()
+            return
+        if child._exc is not None:
+            child.defuse()
+            self.fail(child._exc)
+            return
+        self._result._add(child)
+        self.succeed(self._result)

@@ -1,0 +1,318 @@
+"""Core of the discrete-event engine: events, processes, the scheduler.
+
+Design notes
+------------
+The scheduler is a binary heap of ``(time, priority, seq, event)``
+entries.  ``seq`` is a monotonically increasing tie-breaker so that
+events scheduled at the same instant fire in FIFO order — this makes
+every simulation fully deterministic, which the test-suite relies on.
+
+Virtual time is a ``float`` in **seconds**.  All hardware constants in
+:mod:`repro.hardware.params` are expressed in seconds / bytes-per-second
+so latencies printed by the benchmark harness are simple unit
+conversions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine usage (double-trigger, bad yield, ...)."""
+
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for events that must fire before ordinary ones at the
+#: same instant (e.g. resource hand-off).
+URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, becomes *triggered* when
+    :meth:`succeed`/:meth:`fail` is called (at which point it is placed
+    on the scheduler's queue), and is *processed* once its callbacks
+    have run.  Processes waiting on the event are resumed with its
+    ``value`` (or have ``exception`` thrown into them on failure).
+    """
+
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_exc",
+        "_triggered",
+        "_processed",
+        "_handled",
+        "name",
+    )
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        self._handled = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given an outcome."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run by the scheduler."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful if triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"value of untriggered event {self!r}")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- outcome -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Mark the event successful; callbacks run at the current instant."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._push(self, 0.0, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Mark the event failed; waiters get ``exc`` thrown into them."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._exc = exc
+        self.sim._push(self, 0.0, priority)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        if self._exc is not None and not self._defused():
+            # An unhandled failed event aborts the simulation rather
+            # than being silently dropped.
+            raise self._exc
+
+    def _defused(self) -> bool:
+        return self._handled
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not abort the run."""
+        self._handled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds into the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name or f"timeout({delay:g})")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._push(self, delay, NORMAL)
+
+
+class Process(Event):
+    """Wraps a generator; each yielded :class:`Event` suspends it.
+
+    The process is itself an event: it succeeds with the generator's
+    ``return`` value, or fails with any exception that escapes the
+    generator.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Kick-start at the current instant.
+        boot = Event(sim, name=f"{self.name}:boot")
+        boot.callbacks.append(self._resume)
+        boot.succeed(priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if trigger._exc is not None:
+                trigger.defuse()
+                target = self._gen.throw(trigger._exc)
+            else:
+                target = self._gen.send(trigger._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self._do_succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            self._do_fail(exc)
+            return
+        sim._active_process = None
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+            self._gen.close()
+            self._do_fail(exc)
+            return
+        if target.sim is not self.sim:
+            self._gen.close()
+            self._do_fail(SimulationError("yielded event belongs to a different Simulator"))
+            return
+        self._waiting_on = target
+        if target._processed:
+            # Already fired: resume immediately (next scheduler step).
+            resume = Event(self.sim, name=f"{self.name}:imm")
+            resume._value = target._value
+            resume._exc = target._exc
+            resume.callbacks.append(self._resume)
+            resume._triggered = True
+            self.sim._push(resume, 0.0, URGENT)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _do_succeed(self, value: Any) -> None:
+        if not self._triggered:
+            super().succeed(value)
+
+    def _do_fail(self, exc: BaseException) -> None:
+        if not self._triggered:
+            super().fail(exc)
+
+
+class Simulator:
+    """The event scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return 42
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == 42 and sim.now == 1.0
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[tuple] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self.trace = None  # type: Optional[Any]  # set by monitor.Trace.attach
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction --------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        return Timeout(self, delay, value, name)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.simulator.conditions import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.simulator.conditions import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling -----------------------------------------------------
+    def _push(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap guarantees monotone
+            raise SimulationError("time went backwards")
+        self._now = when
+        if self.trace is not None:
+            self.trace._on_fire(self._now, event)
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        Returns the virtual time at which the run stopped.  ``max_events``
+        is a runaway-loop backstop.
+        """
+        count = 0
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+            count += 1
+            if count > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; livelock?")
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Simulator t={self._now:.9f} queued={len(self._queue)}>"

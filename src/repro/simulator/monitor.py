@@ -1,0 +1,114 @@
+"""Tracing and measurement hooks for simulations.
+
+:class:`Trace` records every fired event (optionally filtered) for
+post-mortem inspection in tests.  :class:`Probe` is a lightweight
+named-series collector used by the benchmark harness to gather e.g.
+per-message latencies or per-iteration phase times without coupling
+the runtime to the reporting layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simulator.core import Event, Simulator
+
+
+@dataclass
+class TraceRecord:
+    """One fired event: ``(time, event name, event class name)``."""
+
+    time: float
+    name: str
+    kind: str
+
+
+class Trace:
+    """Attachable event log.
+
+    Example::
+
+        trace = Trace(filter=lambda ev: "rdma" in ev.name)
+        trace.attach(sim)
+        ...
+        assert any(r.name == "rdma_write" for r in trace.records)
+    """
+
+    def __init__(self, filter: Optional[Callable[[Event], bool]] = None, limit: int = 1_000_000):
+        self.records: List[TraceRecord] = []
+        self._filter = filter
+        self._limit = limit
+
+    def attach(self, sim: Simulator) -> "Trace":
+        sim.trace = self
+        return self
+
+    def detach(self, sim: Simulator) -> None:
+        if sim.trace is self:
+            sim.trace = None
+
+    def _on_fire(self, now: float, event: Event) -> None:
+        if self._filter is not None and not self._filter(event):
+            return
+        if len(self.records) >= self._limit:
+            return
+        self.records.append(TraceRecord(now, event.name, type(event).__name__))
+
+    def names(self) -> List[str]:
+        return [r.name for r in self.records]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class Probe:
+    """Named sample series with basic statistics.
+
+    The SHMEM runtimes and applications push samples into probes
+    (``probe.sample("put_latency", t)``); the harness reads them back
+    as series or summary stats.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[float]] = {}
+        self.meta: Dict[str, Any] = {}
+
+    def sample(self, series: str, value: float) -> None:
+        self._series.setdefault(series, []).append(value)
+
+    def series(self, name: str) -> List[float]:
+        return list(self._series.get(name, []))
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def count(self, name: str) -> int:
+        return len(self._series.get(name, ()))
+
+    def mean(self, name: str) -> float:
+        xs = self._series.get(name)
+        if not xs:
+            raise KeyError(f"no samples for series {name!r}")
+        return sum(xs) / len(xs)
+
+    def total(self, name: str) -> float:
+        return sum(self._series.get(name, ()))
+
+    def median(self, name: str) -> float:
+        xs = sorted(self._series.get(name, ()))
+        if not xs:
+            raise KeyError(f"no samples for series {name!r}")
+        mid = len(xs) // 2
+        if len(xs) % 2:
+            return xs[mid]
+        return 0.5 * (xs[mid - 1] + xs[mid])
+
+    def maximum(self, name: str) -> float:
+        xs = self._series.get(name)
+        if not xs:
+            raise KeyError(f"no samples for series {name!r}")
+        return max(xs)
+
+    def clear(self) -> None:
+        self._series.clear()

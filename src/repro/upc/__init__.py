@@ -1,0 +1,16 @@
+"""UPC-style PGAS layer over the GDR-aware runtime (§VII future work).
+
+The paper closes with "we plan to extend our designs to UPC
+programming models as well"; this package implements that extension:
+a compact UPC-flavoured surface — block-cyclic shared arrays, global
+pointers with affinity, ``upc_memput`` / ``upc_memget`` /
+``upc_memcpy``, barriers and ``upc_forall``-style work partitioning —
+whose every remote access rides the same protocol-selected one-sided
+machinery (GDR loopback, Direct GDR, pipelines, proxy) as the
+OpenSHMEM layer.  A ``shared [B] double A[N]`` declaration with GPU
+affinity therefore gets the paper's full benefit with zero extra code.
+"""
+
+from repro.upc.shared import GlobalPtr, SharedArray, UpcThread
+
+__all__ = ["GlobalPtr", "SharedArray", "UpcThread"]

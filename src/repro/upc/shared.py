@@ -1,0 +1,206 @@
+"""Shared arrays, global pointers, and the UPC thread view.
+
+UPC's data model in brief: a ``shared [B] T A[N]`` array distributes
+its N elements over THREADS in round-robin *blocks* of B elements;
+element ``i`` has affinity to thread ``(i // B) % THREADS`` and lives
+at block-local position ``((i // (B * THREADS)) * B + i % B)`` of that
+thread's slice.  :class:`SharedArray` reproduces exactly that layout
+over symmetric heap allocations (host or GPU domain), and
+:class:`GlobalPtr` is the affinity-carrying pointer the language
+would hand out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShmemError
+from repro.shmem.address import SymPtr
+from repro.shmem.constants import Domain
+
+
+@dataclass(frozen=True)
+class GlobalPtr:
+    """A UPC pointer-to-shared: (array, element index)."""
+
+    array: "SharedArray"
+    index: int
+
+    def __post_init__(self):
+        if not 0 <= self.index <= self.array.nelems:
+            raise ShmemError(
+                f"global pointer index {self.index} outside shared array "
+                f"of {self.array.nelems} elements"
+            )
+
+    @property
+    def thread(self) -> int:
+        """The owning UPC thread (affinity)."""
+        return self.array.affinity(self.index)
+
+    @property
+    def phase(self) -> int:
+        """Position within the owning block (UPC pointer phase)."""
+        return self.index % self.array.block
+
+    def __add__(self, n: int) -> "GlobalPtr":
+        return GlobalPtr(self.array, self.index + n)
+
+
+class SharedArray:
+    """A block-cyclic shared array, ``shared [block] dtype a[nelems]``."""
+
+    def __init__(self, ctx, sym: SymPtr, nelems: int, dtype, block: int, nthreads: int):
+        self.ctx = ctx
+        self.sym = sym
+        self.nelems = nelems
+        self.dtype = np.dtype(dtype)
+        self.block = block
+        self.nthreads = nthreads
+
+    # ----------------------------------------------------------- geometry
+    def affinity(self, index: int) -> int:
+        return (index // self.block) % self.nthreads
+
+    def local_element(self, index: int) -> int:
+        """Element offset within the owner's slice."""
+        super_block = self.block * self.nthreads
+        return (index // super_block) * self.block + index % self.block
+
+    def local_slice_elems(self) -> int:
+        """Elements each thread must reserve (worst-case slice)."""
+        blocks_total = -(-self.nelems // self.block)  # ceil
+        blocks_per_thread = -(-blocks_total // self.nthreads)
+        return blocks_per_thread * self.block
+
+    def _locate(self, index: int, nelems: int) -> Tuple[int, int]:
+        """(owner thread, byte offset) for a run that must not cross a
+        block boundary."""
+        if index < 0 or index + nelems > self.nelems:
+            raise ShmemError(
+                f"access [{index}, {index + nelems}) outside shared array "
+                f"of {self.nelems} elements"
+            )
+        first_block = index // self.block
+        last_block = (index + nelems - 1) // self.block
+        if first_block != last_block:
+            raise ShmemError(
+                "bulk access crosses a block boundary; split it (UPC "
+                "upc_memput/memget operate within one thread's block)"
+            )
+        owner = self.affinity(index)
+        byte_off = self.local_element(index) * self.dtype.itemsize
+        return owner, byte_off
+
+    # --------------------------------------------------------- bulk access
+    def memput(self, index: int, values: np.ndarray) -> Generator:
+        """``upc_memput``: local values -> shared array at ``index``."""
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        owner, byte_off = self._locate(index, values.size)
+        yield from self.ctx.put_array(self.sym.addr + byte_off, values, owner)
+        return None
+
+    def memget(self, index: int, nelems: int) -> Generator:
+        """``upc_memget``: shared array run -> returned ndarray."""
+        owner, byte_off = self._locate(index, nelems)
+        out = yield from self.ctx.get_array(
+            self.sym.addr + byte_off, nelems, self.dtype, owner
+        )
+        return out
+
+    def memcpy(self, dst_index: int, src_index: int, nelems: int) -> Generator:
+        """``upc_memcpy``: shared-to-shared through the caller."""
+        values = yield from self.memget(src_index, nelems)
+        yield from self.memput(dst_index, values)
+        return None
+
+    # ------------------------------------------------------ element access
+    def get(self, ptr_or_index) -> Generator:
+        """Read one shared element (a UPC remote dereference)."""
+        index = ptr_or_index.index if isinstance(ptr_or_index, GlobalPtr) else ptr_or_index
+        arr = yield from self.memget(index, 1)
+        return arr[0].item()
+
+    def put(self, ptr_or_index, value) -> Generator:
+        """Write one shared element."""
+        index = ptr_or_index.index if isinstance(ptr_or_index, GlobalPtr) else ptr_or_index
+        yield from self.memput(index, np.array([value], dtype=self.dtype))
+        return None
+
+    def local_view(self) -> np.ndarray:
+        """This thread's slice as a mutable ndarray (affinity access)."""
+        return self.sym.as_array(self.dtype, self.local_slice_elems())
+
+    def ptr(self, index: int) -> GlobalPtr:
+        return GlobalPtr(self, index)
+
+
+class UpcThread:
+    """The per-thread UPC view: MYTHREAD/THREADS, allocation, barriers.
+
+    Wraps a :class:`~repro.shmem.context.ShmemContext`; construct one
+    per PE inside the SPMD program::
+
+        def program(ctx):
+            upc = UpcThread(ctx)
+            A = yield from upc.all_alloc(1024, "float64", block=64)
+            ...
+    """
+
+    def __init__(self, ctx, domain: Domain = Domain.GPU):
+        self.ctx = ctx
+        self.default_domain = domain
+
+    @property
+    def MYTHREAD(self) -> int:
+        return self.ctx.my_pe()
+
+    @property
+    def THREADS(self) -> int:
+        return self.ctx.n_pes()
+
+    def all_alloc(
+        self,
+        nelems: int,
+        dtype="float64",
+        block: int = 1,
+        domain: Optional[Domain] = None,
+    ) -> Generator:
+        """``upc_all_alloc``: collective shared-array allocation."""
+        if nelems < 1 or block < 1:
+            raise ShmemError("shared array needs nelems >= 1 and block >= 1")
+        dt = np.dtype(dtype)
+        domain = domain or self.default_domain
+        probe = SharedArray(self.ctx, None, nelems, dt, block, self.THREADS)
+        slice_bytes = max(probe.local_slice_elems() * dt.itemsize, 8)
+        sym = yield from self.ctx.shmalloc(slice_bytes, domain=domain)
+        return SharedArray(self.ctx, sym, nelems, dt, block, self.THREADS)
+
+    def barrier(self) -> Generator:
+        """``upc_barrier``."""
+        yield from self.ctx.barrier_all()
+        return None
+
+    def forall_indices(self, nelems: int, affinity: Optional["SharedArray"] = None) -> Iterable[int]:
+        """``upc_forall(i; 0..nelems; affinity)``: the indices this
+        thread executes.  With an affinity array, iterations follow
+        element ownership; otherwise they round-robin over threads."""
+        if affinity is not None:
+            return (i for i in range(nelems) if affinity.affinity(i) == self.MYTHREAD)
+        return range(self.MYTHREAD, nelems, self.THREADS)
+
+    def lock_alloc(self) -> Generator:
+        """``upc_all_lock_alloc``: a shared lock word (host domain)."""
+        sym = yield from self.ctx.shmalloc(8, domain=Domain.HOST)
+        return sym
+
+    def lock(self, lock_sym) -> Generator:
+        yield from self.ctx.set_lock(lock_sym)
+        return None
+
+    def unlock(self, lock_sym) -> Generator:
+        yield from self.ctx.clear_lock(lock_sym)
+        return None

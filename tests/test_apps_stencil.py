@@ -1,0 +1,88 @@
+"""Tests for the Stencil2D application (numerics + performance shape)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil2d import (
+    StencilConfig,
+    reference_stencil,
+    run_stencil2d,
+    seed_grid,
+    stencil_program,
+)
+from repro.errors import ConfigurationError
+
+
+def interiors_match(out, ref):
+    for r in out["results"]:
+        y0, y1, x0, x1, tile = r.tiles[0]
+        exp = ref[y0 + 1 : y1 + 1, x0 + 1 : x1 + 1]
+        if not np.allclose(tile[1:-1, 1:-1], exp):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("nodes,ppn,iters", [(1, 2, 3), (2, 0, 5), (2, 1, 4)])
+def test_distributed_matches_reference(nodes, ppn, iters):
+    cfg = StencilConfig(nx=32, ny=32, iterations=iters, validate=True)
+    out = run_stencil2d(nodes=nodes, design="enhanced-gdr", cfg=cfg, pes_per_node=ppn)
+    assert interiors_match(out, reference_stencil(32, 32, iters))
+
+
+def test_distributed_matches_reference_on_baseline_design():
+    cfg = StencilConfig(nx=24, ny=24, iterations=3, validate=True)
+    out = run_stencil2d(nodes=1, design="host-pipeline", cfg=cfg)
+    assert interiors_match(out, reference_stencil(24, 24, 3))
+
+
+def test_single_pe_matches_reference():
+    cfg = StencilConfig(nx=16, ny=16, iterations=4, validate=True)
+    out = run_stencil2d(nodes=1, design="enhanced-gdr", cfg=cfg, pes_per_node=1)
+    assert interiors_match(out, reference_stencil(16, 16, 4))
+
+
+def test_nonsquare_grid_and_process_count():
+    cfg = StencilConfig(nx=48, ny=24, iterations=2, validate=True)
+    out = run_stencil2d(nodes=3, design="enhanced-gdr", cfg=cfg, pes_per_node=2)
+    assert out["npes"] == 6
+    assert interiors_match(out, reference_stencil(48, 24, 2))
+
+
+def test_seed_grid_deterministic():
+    assert np.array_equal(seed_grid(8, 8), seed_grid(8, 8))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        StencilConfig(nx=2, ny=2).validate_config(64)
+    with pytest.raises(ConfigurationError):
+        StencilConfig(measure_iterations=0).validate_config(4)
+
+
+def test_evolution_time_extrapolates():
+    cfg = StencilConfig(nx=256, ny=256, iterations=1000, measure_iterations=4, warmup_iterations=1)
+    out = run_stencil2d(nodes=1, design="enhanced-gdr", cfg=cfg)
+    assert out["evolution_time"] == pytest.approx(out["per_iteration"] * 1000)
+    assert out["comm_time"] > 0 and out["compute_time"] > 0
+
+
+def test_enhanced_beats_baseline_at_scale():
+    """The Fig 11 headline, directionally."""
+    cfg = StencilConfig(nx=512, ny=512, iterations=100, measure_iterations=4, warmup_iterations=1)
+    hp = run_stencil2d(nodes=4, design="host-pipeline", cfg=cfg)
+    gd = run_stencil2d(nodes=4, design="enhanced-gdr", cfg=cfg)
+    assert gd["evolution_time"] < hp["evolution_time"]
+    improvement = 1 - gd["evolution_time"] / hp["evolution_time"]
+    assert 0.05 < improvement < 0.60  # the paper band is 14-24%
+
+
+def test_comm_share_grows_with_scale():
+    """Strong scaling shrinks tiles: communication share must grow."""
+    cfg = StencilConfig(nx=512, ny=512, iterations=10, measure_iterations=3, warmup_iterations=1)
+    small = run_stencil2d(nodes=1, design="enhanced-gdr", cfg=cfg)
+    big = run_stencil2d(nodes=8, design="enhanced-gdr", cfg=cfg)
+
+    def share(out):
+        return out["comm_time"] / (out["comm_time"] + out["compute_time"])
+
+    assert share(big) > share(small)

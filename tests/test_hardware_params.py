@@ -1,0 +1,71 @@
+"""Tests for calibration constants and parameter handling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import HardwareParams, wilkes_params
+from repro.units import MBps, to_MBps
+
+
+def test_defaults_validate():
+    p = wilkes_params()
+    assert isinstance(p, HardwareParams)
+
+
+def test_table3_values_are_exact():
+    p = wilkes_params()
+    assert to_MBps(p.p2p_read_bw_intra_socket) == pytest.approx(3421)
+    assert to_MBps(p.p2p_write_bw_intra_socket) == pytest.approx(6396)
+    assert to_MBps(p.p2p_read_bw_inter_socket) == pytest.approx(247)
+    assert to_MBps(p.p2p_write_bw_inter_socket) == pytest.approx(1179)
+    assert to_MBps(p.ib_bandwidth) == pytest.approx(6397)
+
+
+def test_p2p_bandwidth_lookup():
+    p = wilkes_params()
+    assert p.p2p_bandwidth(read=True, same_socket=True) == p.p2p_read_bw_intra_socket
+    assert p.p2p_bandwidth(read=False, same_socket=True) == p.p2p_write_bw_intra_socket
+    assert p.p2p_bandwidth(read=True, same_socket=False) == p.p2p_read_bw_inter_socket
+    assert p.p2p_bandwidth(read=False, same_socket=False) == p.p2p_write_bw_inter_socket
+
+
+def test_p2p_read_is_the_bottleneck():
+    """Table III: P2P read << write, inter-socket << intra-socket."""
+    p = wilkes_params()
+    assert p.p2p_read_bw_intra_socket < p.p2p_write_bw_intra_socket
+    assert p.p2p_read_bw_inter_socket < p.p2p_read_bw_intra_socket
+    assert p.p2p_write_bw_inter_socket < p.p2p_write_bw_intra_socket
+
+
+def test_get_threshold_below_put_threshold():
+    p = wilkes_params()
+    assert p.gdr_get_threshold <= p.gdr_put_threshold
+    assert p.loopback_get_threshold <= p.loopback_put_threshold
+
+
+def test_tuned_overrides():
+    p = wilkes_params().tuned(gdr_put_threshold=64 * 1024)
+    assert p.gdr_put_threshold == 64 * 1024
+    # original untouched (frozen dataclass semantics)
+    assert wilkes_params().gdr_put_threshold == 32 * 1024
+
+
+def test_tuned_unknown_field_rejected():
+    with pytest.raises(ConfigurationError):
+        wilkes_params().tuned(warp_drive=1)
+
+
+def test_tuned_validates():
+    with pytest.raises(ConfigurationError):
+        wilkes_params().tuned(ib_bandwidth=-1.0)
+    with pytest.raises(ConfigurationError):
+        wilkes_params().tuned(gdr_get_threshold=1 << 30)  # above put threshold
+    with pytest.raises(ConfigurationError):
+        wilkes_params().tuned(p2p_read_bw_inter_socket=MBps(9999))
+
+
+def test_as_dict_roundtrip():
+    p = wilkes_params()
+    d = p.as_dict()
+    assert d["ib_bandwidth"] == p.ib_bandwidth
+    assert len(d) > 30

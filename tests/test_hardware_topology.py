@@ -1,0 +1,216 @@
+"""Tests for PCIe topology, node, cluster, and fabric models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    ClusterConfig,
+    ClusterHardware,
+    NodeConfig,
+    Node,
+    wilkes_params,
+)
+from repro.hardware.pcie import PCIeTopology
+from repro.simulator import Simulator
+from repro.units import MiB, usec
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def params():
+    return wilkes_params()
+
+
+@pytest.fixture
+def topo(sim, params):
+    # 2 GPUs / 2 HCAs, one of each per socket (Wilkes layout)
+    return PCIeTopology(sim, 0, params, gpu_sockets=[0, 1], hca_sockets=[0, 1])
+
+
+# ------------------------------------------------------------------ topology
+def test_same_socket_pairs(topo):
+    assert topo.same_socket(gpu=0, hca=0)
+    assert topo.same_socket(gpu=1, hca=1)
+    assert not topo.same_socket(gpu=0, hca=1)
+    assert topo.gpus_same_socket(0, 0)
+    assert not topo.gpus_same_socket(0, 1)
+
+
+def test_bad_socket_rejected(sim, params):
+    with pytest.raises(ConfigurationError):
+        PCIeTopology(sim, 0, params, gpu_sockets=[5], hca_sockets=[0])
+
+
+def test_h2d_small_copy_dominated_by_overhead(topo, params):
+    spec = topo.h2d(0, 4)
+    assert spec.total_latency() == pytest.approx(params.cuda_copy_overhead, rel=0.01)
+
+
+def test_h2d_large_copy_dominated_by_bandwidth(topo, params):
+    n = 64 * MiB
+    spec = topo.h2d(0, n)
+    assert spec.total_latency() == pytest.approx(n / params.pcie_h2d_bandwidth, rel=0.05)
+
+
+def test_ipc_copy_costs_more_than_plain(topo):
+    assert topo.h2d(0, 1024, via_ipc=True).total_latency() > topo.h2d(0, 1024).total_latency()
+
+
+def test_d2d_local_uses_gpu_bandwidth(topo, params):
+    n = 64 * MiB
+    spec = topo.d2d_local(0, n)
+    assert spec.total_latency() == pytest.approx(
+        params.cuda_copy_overhead + n / params.gpu_local_bandwidth, rel=0.01
+    )
+
+
+def test_d2d_ipc_same_gpu_degenerates_to_local(topo):
+    assert topo.d2d_ipc(0, 0, 1024).label == "cudaMemcpyD2D"
+
+
+def test_d2d_ipc_cross_socket_slower(sim, params):
+    same = PCIeTopology(sim, 0, params, gpu_sockets=[0, 0], hca_sockets=[0])
+    cross = PCIeTopology(sim, 1, params, gpu_sockets=[0, 1], hca_sockets=[0])
+    n = 4 * MiB
+    assert cross.d2d_ipc(0, 1, n).total_latency() > same.d2d_ipc(0, 1, n).total_latency()
+
+
+def test_p2p_read_slower_than_write(topo):
+    """The Table III asymmetry must show up in resolved specs."""
+    n = 1 * MiB
+    read = topo.p2p(hca=0, gpu=0, nbytes=n, read=True)
+    write = topo.p2p(hca=0, gpu=0, nbytes=n, read=False)
+    assert read.total_latency() > write.total_latency()
+
+
+def test_p2p_inter_socket_penalty(topo):
+    n = 1 * MiB
+    intra = topo.p2p(hca=0, gpu=0, nbytes=n, read=False)
+    inter = topo.p2p(hca=1, gpu=0, nbytes=n, read=False)
+    # 6396 vs 1179 MB/s: ~5.4x slower
+    assert inter.total_latency() > 4 * intra.total_latency()
+
+
+def test_host_copy_fast_for_small(topo, params):
+    spec = topo.host_copy(64)
+    assert spec.total_latency() < usec(1.0)
+
+
+# ---------------------------------------------------------------------- node
+def test_node_default_wilkes_layout(sim, params):
+    node = Node(sim, 0, NodeConfig(), params)
+    assert len(node.gpus) == 2 and len(node.hcas) == 2
+    assert node.gpus[0].socket == 0 and node.gpus[1].socket == 1
+    assert node.hca_for_gpu(0) == 0
+    assert node.hca_for_gpu(1) == 1
+    assert node.same_socket(0, 0)
+
+
+def test_node_skewed_hca_placement(sim, params):
+    cfg = NodeConfig(gpus=2, hcas=1, hca_sockets=[0])
+    node = Node(sim, 0, cfg, params)
+    assert node.hca_for_gpu(1) == 0  # fallback: no same-socket HCA
+    assert not node.same_socket(1, 0)
+
+
+def test_node_config_validation():
+    with pytest.raises(ConfigurationError):
+        NodeConfig(sockets=0).validate()
+    with pytest.raises(ConfigurationError):
+        NodeConfig(hcas=0).validate()
+    with pytest.raises(ConfigurationError):
+        NodeConfig(gpus=2, gpu_sockets=[0]).validate()
+
+
+def test_gpu_kernel_timing(sim, params):
+    node = Node(sim, 0, NodeConfig(), params)
+    gpu = node.gpus[0]
+
+    def proc(sim):
+        yield from gpu.kernel(usec(100))
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == pytest.approx(usec(100) + params.kernel_launch_overhead)
+    assert gpu.kernels_launched == 1
+    assert gpu.busy_time > 0
+
+
+def test_gpu_kernels_serialize(sim, params):
+    node = Node(sim, 0, NodeConfig(), params)
+    gpu = node.gpus[0]
+    done = []
+
+    def proc(sim, name):
+        yield from gpu.kernel(usec(10))
+        done.append(name)
+
+    sim.process(proc(sim, "a"))
+    sim.process(proc(sim, "b"))
+    sim.run()
+    assert done == ["a", "b"]
+    assert sim.now == pytest.approx(2 * (usec(10) + params.kernel_launch_overhead))
+
+
+def test_gpu_roofline_estimate(sim, params):
+    node = Node(sim, 0, NodeConfig(), params)
+    gpu = node.gpus[0]
+    t_flops = gpu.estimate_kernel_time(flops=params.gpu_flops)  # exactly 1s of flops
+    assert t_flops == pytest.approx(1.0)
+    t_mem = gpu.estimate_kernel_time(bytes_touched=params.gpu_mem_bandwidth)
+    assert t_mem == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        gpu.estimate_kernel_time(flops=1.0, efficiency=0.0)
+
+
+# ------------------------------------------------------------------- cluster
+def test_cluster_pe_placement(sim):
+    hw = ClusterHardware(sim, ClusterConfig(nodes=2))
+    assert hw.config.npes == 4  # 2 nodes x 2 GPUs
+    assert hw.pe_location(0) == (0, 0)
+    assert hw.pe_location(3) == (1, 1)
+    assert hw.pe_gpu(0) == 0 and hw.pe_gpu(1) == 1
+    assert hw.same_node(0, 1)
+    assert not hw.same_node(1, 2)
+
+
+def test_cluster_pe_out_of_range(sim):
+    hw = ClusterHardware(sim, ClusterConfig(nodes=1))
+    with pytest.raises(ConfigurationError):
+        hw.pe_location(99)
+
+
+def test_cluster_explicit_pes_per_node(sim):
+    cfg = ClusterConfig(nodes=2, pes_per_node=4)
+    hw = ClusterHardware(sim, cfg)
+    assert cfg.npes == 8
+    # PEs round-robin over the node's 2 GPUs
+    assert hw.pe_gpu(0) == 0 and hw.pe_gpu(1) == 1 and hw.pe_gpu(2) == 0
+
+
+def test_fabric_wire_internode(sim, params):
+    hw = ClusterHardware(sim, ClusterConfig(nodes=2))
+    src = hw.nodes[0].hcas[0]
+    dst = hw.nodes[1].hcas[0]
+    spec = hw.fabric.wire(src, dst, 8)
+    assert spec.total_latency() == pytest.approx(params.ib_wire_latency, rel=0.01)
+
+
+def test_fabric_loopback_cheaper_than_wire(sim, params):
+    hw = ClusterHardware(sim, ClusterConfig(nodes=2))
+    hca = hw.nodes[0].hcas[0]
+    loop = hw.fabric.wire(hca, hca, 8)
+    wire = hw.fabric.wire(hca, hw.nodes[1].hcas[0], 8)
+    assert loop.total_latency() < wire.total_latency()
+
+
+def test_cluster_config_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(nodes=0).validate()
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(pes_per_node=-1).validate()

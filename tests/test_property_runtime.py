@@ -1,0 +1,156 @@
+"""Property-based end-to-end tests: the runtime vs a shadow model.
+
+Hypothesis drives random operation sequences through the full stack
+(heaps, protocol selection, verbs, links) and checks every byte
+against a trivial Python shadow.  A second property checks that all
+three runtime designs agree on *data* outcomes wherever they support
+the configuration — they may differ in time, never in bytes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shmem import Domain, ShmemJob
+
+DOMAINS = [Domain.HOST, Domain.GPU]
+OBJ_SIZE = 512
+
+
+def op_strategy(npes):
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "fadd", "swap"]),
+            st.integers(0, 3),  # which symmetric object
+            st.integers(0, npes - 1),  # target PE
+            st.integers(0, OBJ_SIZE - 64),  # offset (multiple of 8 below)
+            st.integers(1, 64),  # length
+            st.integers(0, 255),  # payload seed
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+
+def canon(ops):
+    """Round offsets to 8-byte alignment so atomics are well-formed."""
+    return [(k, o, pe, (off // 8) * 8, ln, seed) for k, o, pe, off, ln, seed in ops]
+
+
+@given(ops=op_strategy(4), domains=st.lists(st.sampled_from(DOMAINS), min_size=4, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_runtime_matches_shadow_model(ops, domains):
+    ops = canon(ops)
+    npes = 4
+    # ---- shadow: plain byte arrays ---------------------------------
+    shadow = {(pe, i): bytearray(OBJ_SIZE) for pe in range(npes) for i in range(4)}
+    fetched = []
+    for kind, obj, pe, off, ln, seed in ops:
+        if kind == "put":
+            shadow[(pe, obj)][off : off + ln] = bytes([seed]) * ln
+        elif kind == "get":
+            fetched.append(bytes(shadow[(pe, obj)][off : off + ln]))
+        elif kind == "fadd":
+            old = int.from_bytes(shadow[(pe, obj)][off : off + 8], "little")
+            new = (old + seed) & ((1 << 64) - 1)
+            shadow[(pe, obj)][off : off + 8] = new.to_bytes(8, "little")
+        else:  # swap
+            shadow[(pe, obj)][off : off + 8] = int(seed).to_bytes(8, "little")
+
+    # ---- real run: PE 0 drives the same sequence -------------------
+    def main(ctx):
+        syms = []
+        for i in range(4):
+            s = yield from ctx.shmalloc(OBJ_SIZE, domain=domains[i])
+            syms.append(s)
+        yield from ctx.barrier_all()
+        got = []
+        if ctx.my_pe() == 0:
+            buf = ctx.cuda.malloc_host(OBJ_SIZE)
+            for kind, obj, pe, off, ln, seed in ops:
+                if kind == "put":
+                    buf.fill(seed, ln)
+                    yield from ctx.putmem(syms[obj].addr + off, buf, ln, pe)
+                    yield from ctx.quiet()
+                elif kind == "get":
+                    yield from ctx.getmem(buf, syms[obj].addr + off, ln, pe)
+                    got.append(buf.read(ln))
+                elif kind == "fadd":
+                    yield from ctx.atomic_fetch_add(syms[obj].addr + off, seed, pe)
+                else:
+                    yield from ctx.atomic_swap(syms[obj].addr + off, seed, pe)
+        yield from ctx.barrier_all()
+        return (got, [s.read(OBJ_SIZE) for s in syms])
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    got, _ = res.results[0]
+    assert got == fetched
+    for pe in range(npes):
+        _g, finals = res.results[pe]
+        for i in range(4):
+            assert finals[i] == bytes(shadow[(pe, i)]), f"pe{pe} obj{i} diverged"
+
+
+@given(ops=op_strategy(2))
+@settings(max_examples=15, deadline=None)
+def test_designs_agree_on_bytes(ops):
+    """host-pipeline and enhanced-gdr must produce identical data for
+    every sequence (D-D/H-H only inter-node, which both support)."""
+    ops = canon(ops)
+
+    def main(ctx):
+        syms = []
+        for i in range(4):
+            # alternate domains, but keep remote==local domain so the
+            # baseline's inter-node restriction never triggers
+            s = yield from ctx.shmalloc(OBJ_SIZE, domain=DOMAINS[i % 2])
+            syms.append(s)
+        src = {
+            Domain.HOST: ctx.cuda.malloc_host(OBJ_SIZE),
+            Domain.GPU: ctx.cuda.malloc(OBJ_SIZE),
+        }
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 0:
+            for kind, obj, pe, off, ln, seed in ops:
+                dom = DOMAINS[obj % 2]
+                buf = src[dom]  # same-domain source => H-H or D-D
+                if kind == "put" or (kind != "put" and dom is Domain.GPU):
+                    # (GPU-resident atomics need GDR, which the baseline
+                    # lacks — see test_baseline_cannot_do_gpu_atomics)
+                    buf.fill(seed, ln)
+                    yield from ctx.putmem(syms[obj].addr + off, buf, ln, pe)
+                    yield from ctx.quiet()
+                elif kind == "fadd":
+                    yield from ctx.atomic_fetch_add(syms[obj].addr + off, seed, pe)
+                else:
+                    yield from ctx.atomic_swap(syms[obj].addr + off, seed, pe)
+        yield from ctx.barrier_all()
+        return [s.read(OBJ_SIZE) for s in syms]
+
+    outcomes = []
+    for design in ("host-pipeline", "enhanced-gdr"):
+        res = ShmemJob(nodes=2, pes_per_node=1, design=design).run(main)
+        outcomes.append(res.results)
+    assert outcomes[0] == outcomes[1]
+
+
+def test_baseline_cannot_do_gpu_atomics():
+    """§III-D is an enhanced-design feature: without GDR registration of
+    the GPU heap, the baseline has no path for device-resident atomics."""
+    from repro.errors import ShmemError
+
+    def main(ctx):
+        word = yield from ctx.shmalloc(8, domain=Domain.GPU)
+        yield from ctx.atomic_fetch_add(word, 1, pe=0)
+
+    with pytest.raises(ShmemError, match="not registered"):
+        ShmemJob(nodes=1, pes_per_node=1, design="host-pipeline").run(main)
+
+    def main_ok(ctx):
+        word = yield from ctx.shmalloc(8, domain=Domain.GPU)
+        old = yield from ctx.atomic_fetch_add(word, 1, pe=0)
+        return old
+
+    res = ShmemJob(nodes=1, pes_per_node=1, design="enhanced-gdr").run(main_ok)
+    assert res.results[0] == 0

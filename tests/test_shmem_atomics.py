@@ -1,0 +1,138 @@
+"""Tests for OpenSHMEM atomics, including GDR atomics on GPU heaps."""
+
+import pytest
+
+from repro.shmem import Domain, ShmemJob
+
+
+def test_fetch_add_on_host_heap():
+    def main(ctx):
+        counter = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        yield from ctx.barrier_all()
+        old = yield from ctx.atomic_fetch_add(counter, 1, pe=0)
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 0:
+            return (old, int.from_bytes(counter.read(8), "little"))
+        return (old, None)
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    olds = sorted(r[0] for r in res.results)
+    assert olds == list(range(len(res.results)))  # every increment distinct
+    assert res.results[0][1] == len(res.results)
+
+
+def test_fetch_add_on_gpu_heap():
+    """§III-D: hardware atomics against GPU-resident symmetric data."""
+
+    def main(ctx):
+        counter = yield from ctx.shmalloc(8, domain=Domain.GPU)
+        yield from ctx.barrier_all()
+        yield from ctx.atomic_fetch_add(counter, 10, pe=ctx.npes - 1)
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == ctx.npes - 1:
+            return int.from_bytes(counter.read(8), "little")
+        return None
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    assert res.results[-1] == 10 * len(res.results)
+
+
+def test_compare_swap_lock_protocol():
+    """A spinlock built from compare_swap: increments never race."""
+
+    def main(ctx):
+        lock = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        shared = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        yield from ctx.barrier_all()
+        me = ctx.my_pe() + 1
+        for _ in range(3):
+            while True:
+                old = yield from ctx.atomic_compare_swap(lock, 0, me, pe=0)
+                if old == 0:
+                    break
+            # critical section: non-atomic read-modify-write on PE 0
+            tmp = ctx.cuda.malloc_host(8)
+            yield from ctx.getmem(tmp, shared, 8, pe=0)
+            value = int.from_bytes(tmp.read(8), "little") + 1
+            tmp.write(value.to_bytes(8, "little"))
+            yield from ctx.putmem(shared, tmp, 8, pe=0)
+            yield from ctx.quiet()
+            yield from ctx.atomic_swap(lock, 0, pe=0)  # unlock
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 0:
+            return int.from_bytes(shared.read(8), "little")
+        return None
+
+    res = ShmemJob(nodes=2, pes_per_node=1, design="enhanced-gdr").run(main)
+    assert res.results[0] == 3 * 2
+
+
+def test_atomic_fetch_and_set():
+    def main2(ctx):
+        word = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        yield from ctx.barrier_all()
+        got = None
+        if ctx.my_pe() == 0:
+            yield from ctx.atomic_set(word, 1234, pe=1)
+            got = yield from ctx.atomic_fetch(word, pe=1)
+        yield from ctx.barrier_all()
+        return got
+
+    res = ShmemJob(nodes=1, design="enhanced-gdr").run(main2)
+    assert res.results[0] == 1234
+
+
+def test_atomic_32bit_masked():
+    def main(ctx):
+        word = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        yield from ctx.barrier_all()
+        old = None
+        if ctx.my_pe() == 0:
+            old = yield from ctx.atomic_fetch_add(word, 5, pe=1, nbytes=4)
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 1:
+            return int.from_bytes(word.read(4), "little")
+        return old
+
+    res = ShmemJob(nodes=1, design="enhanced-gdr").run(main)
+    assert res.results[0] == 0
+    assert res.results[1] == 5
+
+
+def test_atomics_wake_wait_until():
+    """An atomic update must wake a blocked wait_until on the target."""
+
+    def main(ctx):
+        flag = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        if ctx.my_pe() == 0:
+            yield from ctx.compute(1e-4)
+            yield from ctx.atomic_fetch_add(flag, 7, pe=1)
+            return None
+        elif ctx.my_pe() == 1:
+            value = yield from ctx.wait_until(flag, ">=", 7)
+            return value
+        return None
+
+    res = ShmemJob(nodes=1, design="enhanced-gdr").run(main)
+    assert res.results[1] == 7
+
+
+def test_gpu_atomic_slower_than_host_atomic():
+    """The GDR PCIe round-trip makes device atomics cost more."""
+
+    def mk(domain):
+        def main(ctx):
+            word = yield from ctx.shmalloc(8, domain=domain)
+            yield from ctx.barrier_all()
+            t0 = ctx.now
+            if ctx.my_pe() == 0:
+                yield from ctx.atomic_fetch_add(word, 1, pe=ctx.npes - 1)
+            dt = ctx.now - t0
+            yield from ctx.barrier_all()
+            return dt
+
+        return main
+
+    t_host = ShmemJob(nodes=2, design="enhanced-gdr").run(mk(Domain.HOST)).results[0]
+    t_gpu = ShmemJob(nodes=2, design="enhanced-gdr").run(mk(Domain.GPU)).results[0]
+    assert t_gpu > t_host

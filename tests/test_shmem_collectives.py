@@ -1,0 +1,273 @@
+"""Tests for collectives: barrier, broadcast, allreduce, fcollect."""
+
+import numpy as np
+import pytest
+
+from repro.shmem import Domain, ShmemJob
+
+
+@pytest.mark.parametrize("nodes,ppn", [(1, 1), (1, 2), (2, 2), (3, 0)])
+def test_barrier_synchronizes(nodes, ppn):
+    """No PE leaves a barrier before every PE has entered it."""
+
+    def main(ctx):
+        # Skew arrival times heavily.
+        yield from ctx.compute(1e-5 * (ctx.my_pe() + 1))
+        arrived = ctx.now
+        yield from ctx.barrier_all()
+        left = ctx.now
+        return (arrived, left)
+
+    res = ShmemJob(nodes=nodes, pes_per_node=ppn, design="enhanced-gdr").run(main)
+    last_arrival = max(a for a, _l in res.results)
+    for _a, left in res.results:
+        assert left >= last_arrival
+
+
+def test_barrier_repeated_generations():
+    def main(ctx):
+        stamps = []
+        for _ in range(5):
+            yield from ctx.barrier_all()
+            stamps.append(ctx.now)
+        return stamps
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    # all PEs leave each barrier at comparable times, strictly increasing
+    for stamps in res.results:
+        assert stamps == sorted(stamps)
+    for i in range(5):
+        times = [r[i] for r in res.results]
+        assert max(times) - min(times) < 1e-4
+
+
+@pytest.mark.parametrize("domain", [Domain.HOST, Domain.GPU])
+@pytest.mark.parametrize("root", [0, 2])
+def test_broadcast_delivers_to_all(domain, root):
+    def main(ctx):
+        sym = yield from ctx.shmalloc(1024, domain=domain)
+        if ctx.my_pe() == root:
+            sym.as_array(np.float32)[:] = np.arange(256, dtype=np.float32)
+        yield from ctx.broadcast(sym, 1024, root=root)
+        return bool(
+            np.array_equal(sym.as_array(np.float32), np.arange(256, dtype=np.float32))
+        )
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    assert all(res.results)
+
+
+def test_broadcast_large_message():
+    n = 1 << 20
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(n, domain=Domain.GPU)
+        if ctx.my_pe() == 0:
+            sym.fill(0xCD, n)
+        yield from ctx.broadcast(sym, n, root=0)
+        return sym.read(n) == bytes([0xCD]) * n
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    assert all(res.results)
+
+
+@pytest.mark.parametrize("domain", [Domain.HOST, Domain.GPU])
+@pytest.mark.parametrize("op,expected_fn", [
+    ("sum", lambda xs: sum(xs)),
+    ("max", lambda xs: max(xs)),
+    ("min", lambda xs: min(xs)),
+    ("prod", lambda xs: np.prod(xs)),
+])
+def test_allreduce_ops(domain, op, expected_fn):
+    def main(ctx):
+        src = yield from ctx.shmalloc(64, domain=domain)
+        dst = yield from ctx.shmalloc(64, domain=domain)
+        src.as_array(np.float64)[:] = float(ctx.my_pe() + 1)
+        yield from ctx.reduce(dst, src, count=8, dtype="float64", op=op)
+        return dst.as_array(np.float64).tolist()
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    npes = len(res.results)
+    expected = float(expected_fn([pe + 1 for pe in range(npes)]))
+    for values in res.results:
+        assert values == [expected] * 8
+
+
+def test_allreduce_elementwise():
+    def main(ctx):
+        src = yield from ctx.shmalloc(80, domain=Domain.HOST)
+        dst = yield from ctx.shmalloc(80, domain=Domain.HOST)
+        src.as_array(np.float64)[:] = np.arange(10) * (ctx.my_pe() + 1.0)
+        yield from ctx.reduce(dst, src, count=10, dtype="float64", op="sum")
+        return dst.as_array(np.float64).tolist()
+
+    res = ShmemJob(nodes=2, pes_per_node=1, design="enhanced-gdr").run(main)
+    expected = (np.arange(10) * 3.0).tolist()  # (1 + 2) * i
+    assert res.results[0] == expected
+    assert res.results[1] == expected
+
+
+@pytest.mark.parametrize("domain", [Domain.HOST, Domain.GPU])
+def test_fcollect_gathers_in_rank_order(domain):
+    block = 64
+
+    def main(ctx):
+        src = yield from ctx.shmalloc(block, domain=domain)
+        dst = yield from ctx.shmalloc(block * ctx.npes, domain=domain)
+        src.fill(ctx.my_pe() + 1, block)
+        yield from ctx.fcollect(dst, src, block)
+        return dst.read(block * ctx.npes)
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    npes = len(res.results)
+    expected = b"".join(bytes([pe + 1]) * block for pe in range(npes))
+    assert all(r == expected for r in res.results)
+
+
+def test_collectives_work_on_host_pipeline_design():
+    """Collectives must run on the baseline too (they are H-H flag/put
+    based, which every design supports)."""
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(256, domain=Domain.HOST)
+        if ctx.my_pe() == 0:
+            sym.fill(9, 256)
+        yield from ctx.broadcast(sym, 256, root=0)
+        yield from ctx.barrier_all()
+        return sym.read(256) == bytes([9]) * 256
+
+    res = ShmemJob(nodes=2, design="host-pipeline").run(main)
+    assert all(res.results)
+
+
+def test_single_pe_collectives_are_noops():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(64)
+        dst = yield from ctx.shmalloc(64)
+        sym.as_array(np.float64)[:] = 3.0
+        yield from ctx.barrier_all()
+        yield from ctx.broadcast(sym, 64, root=0)
+        yield from ctx.reduce(dst, sym, count=8)
+        yield from ctx.fcollect(dst, sym, 8)
+        return dst.as_array(np.float64)[0]
+
+    res = ShmemJob(nodes=1, pes_per_node=1, design="enhanced-gdr").run(main)
+    assert res.results[0] == 3.0
+
+
+@pytest.mark.parametrize("domain", [Domain.HOST, Domain.GPU])
+def test_collect_variable_sizes(domain):
+    """shmem_collect: rank-ordered concatenation of unequal blocks."""
+
+    def main(ctx):
+        src = yield from ctx.shmalloc(256, domain=domain)
+        dst = yield from ctx.shmalloc(1024, domain=domain)
+        mine = 16 * (ctx.my_pe() + 1)  # 16, 32, 48, 64 bytes
+        src.fill(ctx.my_pe() + 1, mine)
+        off = yield from ctx.collect(dst, src, mine)
+        return (off, dst.read(sum(16 * (p + 1) for p in range(ctx.npes))))
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    npes = len(res.results)
+    expected = b"".join(bytes([p + 1]) * (16 * (p + 1)) for p in range(npes))
+    offsets = [r[0] for r in res.results]
+    assert offsets == [sum(16 * (q + 1) for q in range(p)) for p in range(npes)]
+    assert all(r[1] == expected for r in res.results)
+
+
+def test_collect_zero_contribution():
+    def main(ctx):
+        src = yield from ctx.shmalloc(64)
+        dst = yield from ctx.shmalloc(256)
+        mine = 0 if ctx.my_pe() == 1 else 8
+        src.fill(ctx.my_pe() + 1, max(mine, 1))
+        off = yield from ctx.collect(dst, src, mine)
+        return off
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    # PE1 contributes nothing: PE2's offset equals PE1's
+    assert res.results[1] == res.results[2] == 8
+
+
+def test_collect_overflow_rejected():
+    from repro.errors import ShmemError
+
+    def main(ctx):
+        src = yield from ctx.shmalloc(256)
+        dst = yield from ctx.shmalloc(64)
+        yield from ctx.collect(dst, src, 64)  # 64 * npes > 64
+
+    with pytest.raises(ShmemError, match="collect needs"):
+        ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+
+
+def test_allreduce_recursive_doubling_path():
+    """Large counts on a power-of-two job take the log2(n) algorithm
+    and still produce exact results."""
+
+    def main(ctx):
+        src = yield from ctx.shmalloc(1024, domain=Domain.GPU)
+        dst = yield from ctx.shmalloc(1024, domain=Domain.GPU)
+        src.as_array(np.float64)[:] = np.arange(128) + 1000.0 * ctx.my_pe()
+        yield from ctx.reduce(dst, src, count=128, dtype="float64", op="sum")
+        return dst.as_array(np.float64).tolist()
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)  # 4 PEs: pow2
+    npes = len(res.results)
+    expected = (npes * np.arange(128) + 1000.0 * sum(range(npes))).tolist()
+    for values in res.results:
+        assert values == expected
+
+
+def test_allreduce_non_power_of_two_falls_back():
+    def main(ctx):
+        src = yield from ctx.shmalloc(512, domain=Domain.HOST)
+        dst = yield from ctx.shmalloc(512, domain=Domain.HOST)
+        src.as_array(np.float64)[:] = float(ctx.my_pe())
+        yield from ctx.reduce(dst, src, count=64, dtype="float64", op="max")
+        return dst.as_array(np.float64)[0]
+
+    res = ShmemJob(nodes=3, design="enhanced-gdr").run(main)  # 6 PEs
+    assert all(v == 5.0 for v in res.results)
+
+
+def test_large_broadcast_scatter_allgather_correct():
+    """Above the threshold the van de Geijn path runs; bytes identical."""
+    from repro.shmem.collectives import BCAST_LARGE_THRESHOLD
+
+    n = BCAST_LARGE_THRESHOLD * 2
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(n, domain=Domain.GPU)
+        if ctx.my_pe() == 1:
+            sym.as_array(np.uint8)[:] = (np.arange(n) % 251).astype(np.uint8)
+        yield from ctx.broadcast(sym, n, root=1)
+        expected = (np.arange(n) % 251).astype(np.uint8)
+        return bool(np.array_equal(sym.as_array(np.uint8), expected))
+
+    res = ShmemJob(nodes=2, design="enhanced-gdr").run(main)
+    assert all(res.results)
+
+
+def test_large_broadcast_beats_binomial_at_scale():
+    """The bandwidth algorithm must actually win where it is selected."""
+    from repro.shmem import collectives as coll
+
+    n = 1 << 20
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(n, domain=Domain.HOST)
+        yield from ctx.barrier_all()
+        t0 = ctx.now
+        yield from ctx.broadcast(sym, n, root=0)
+        return ctx.now - t0
+
+    t_hybrid = max(ShmemJob(nodes=4, design="enhanced-gdr").run(main).results)
+
+    old = coll.BCAST_LARGE_THRESHOLD
+    coll.BCAST_LARGE_THRESHOLD = 1 << 30  # force binomial
+    try:
+        t_binomial = max(ShmemJob(nodes=4, design="enhanced-gdr").run(main).results)
+    finally:
+        coll.BCAST_LARGE_THRESHOLD = old
+    assert t_hybrid < t_binomial

@@ -1,0 +1,167 @@
+"""Tests for the symmetric heap allocator (incl. property-based)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HeapExhausted, ShmemError
+from repro.shmem.heap import DEFAULT_ALIGNMENT, HeapAllocator
+
+
+def test_simple_allocation_is_aligned():
+    h = HeapAllocator(4096)
+    off = h.allocate(100)
+    assert off % DEFAULT_ALIGNMENT == 0
+    assert h.live_bytes == 100
+
+
+def test_sequential_allocations_do_not_overlap():
+    h = HeapAllocator(4096)
+    a = h.allocate(100)
+    b = h.allocate(100)
+    assert b >= a + 100
+
+
+def test_deterministic_layout():
+    """Two PEs performing the same sequence get the same offsets —
+    the property symmetric addressing rests on."""
+    h1, h2 = HeapAllocator(1 << 20), HeapAllocator(1 << 20)
+    seq = [(64, 64), (1000, 8), (17, 128), (4096, 64)]
+    offs1 = [h1.allocate(s, a) for s, a in seq]
+    h1.free(offs1[1])
+    offs1.append(h1.allocate(512))
+    offs2 = [h2.allocate(s, a) for s, a in seq]
+    h2.free(offs2[1])
+    offs2.append(h2.allocate(512))
+    assert offs1 == offs2
+
+
+def test_free_and_reuse():
+    h = HeapAllocator(256)
+    a = h.allocate(128, alignment=8)
+    with pytest.raises(HeapExhausted):
+        h.allocate(256, alignment=8)
+    h.free(a)
+    b = h.allocate(256, alignment=8)
+    assert b == 0
+
+
+def test_coalescing_adjacent_blocks():
+    h = HeapAllocator(300)
+    a = h.allocate(100, alignment=4)
+    b = h.allocate(100, alignment=4)
+    c = h.allocate(100, alignment=4)
+    h.free(a)
+    h.free(c)
+    h.free(b)  # middle last: must merge into one 300-byte hole
+    assert h.allocate(300, alignment=4) == 0
+
+
+def test_double_free_rejected():
+    h = HeapAllocator(256)
+    a = h.allocate(64)
+    h.free(a)
+    with pytest.raises(ShmemError):
+        h.free(a)
+
+
+def test_free_unknown_offset_rejected():
+    h = HeapAllocator(256)
+    with pytest.raises(ShmemError):
+        h.free(77)
+
+
+def test_invalid_sizes_and_alignment():
+    h = HeapAllocator(256)
+    with pytest.raises(ShmemError):
+        h.allocate(0)
+    with pytest.raises(ShmemError):
+        h.allocate(-5)
+    with pytest.raises(ShmemError):
+        h.allocate(8, alignment=3)
+    with pytest.raises(ShmemError):
+        HeapAllocator(0)
+
+
+def test_contains_live():
+    h = HeapAllocator(1024)
+    a = h.allocate(100, alignment=8)
+    assert h.contains_live(a, 100)
+    assert h.contains_live(a + 50, 50)
+    assert not h.contains_live(a + 50, 51)
+    assert not h.contains_live(a + 100, 1)
+
+
+def test_alignment_padding_returned_to_free_list():
+    h = HeapAllocator(1024)
+    h.allocate(1, alignment=1)  # offset 0
+    big = h.allocate(512, alignment=512)  # offset 512, hole [1, 512)
+    assert big == 512
+    small = h.allocate(256, alignment=1)
+    assert 1 <= small < 512  # the padding hole got reused
+
+
+# -------------------------------------------------------------- properties
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=2048),
+            st.sampled_from([1, 8, 64, 256]),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_no_overlaps_and_alignment(requests):
+    """Any allocation sequence yields non-overlapping, aligned, in-range
+    blocks, and accounting is consistent."""
+    h = HeapAllocator(1 << 20)
+    blocks = []
+    for size, align in requests:
+        off = h.allocate(size, align)
+        assert off % align == 0
+        assert 0 <= off and off + size <= h.capacity
+        for o2, s2 in blocks:
+            assert off + size <= o2 or o2 + s2 <= off, "overlap detected"
+        blocks.append((off, size))
+    assert h.live_bytes == sum(s for _o, s in blocks)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=30),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_full_free_restores_capacity(sizes, rng):
+    """Freeing everything (in random order) coalesces back to one block."""
+    h = HeapAllocator(1 << 20)
+    offs = [h.allocate(s, alignment=1) for s in sizes]
+    rng.shuffle(offs)
+    for off in offs:
+        h.free(off)
+    assert h.live_bytes == 0
+    assert h.free_bytes == h.capacity
+    assert h.allocate(h.capacity, alignment=1) == 0
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_interleaved_alloc_free_stays_consistent(data):
+    """Random alloc/free interleavings keep live+free == capacity."""
+    h = HeapAllocator(1 << 16)
+    live = {}
+    for _ in range(data.draw(st.integers(5, 50))):
+        if live and data.draw(st.booleans()):
+            off = data.draw(st.sampled_from(sorted(live)))
+            h.free(off)
+            del live[off]
+        else:
+            size = data.draw(st.integers(1, 1024))
+            try:
+                off = h.allocate(size, alignment=1)
+            except HeapExhausted:
+                continue
+            live[off] = size
+    assert h.live_bytes == sum(live.values())
+    assert h.live_bytes + h.free_bytes <= h.capacity

@@ -1,0 +1,314 @@
+"""Tests for typed/strided/non-blocking ops (TypedOps mixin)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShmemError
+from repro.shmem import Domain, ShmemJob
+
+
+def run(nodes, program, **kw):
+    return ShmemJob(nodes=nodes, **kw).run(program)
+
+
+def test_put_get_array_roundtrip():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(256, domain=Domain.GPU)
+        if ctx.my_pe() == 0:
+            yield from ctx.put_array(sym, np.arange(32, dtype=np.float64), pe=1)
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 1:
+            back = yield from ctx.get_array(sym, 32, np.float64, pe=1)
+            return back.tolist()
+        return None
+
+    res = run(1, main)
+    assert res.results[1] == list(range(32))
+
+
+def test_put_array_2d_flattens():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(64, domain=Domain.HOST)
+        if ctx.my_pe() == 0:
+            yield from ctx.put_array(sym, np.ones((2, 4), dtype=np.int64), pe=1)
+        yield from ctx.barrier_all()
+        return sym.as_array(np.int64).tolist() if ctx.my_pe() == 1 else None
+
+    res = run(1, main)
+    assert res.results[1] == [1] * 8
+
+
+def test_scalar_p_and_g():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        if ctx.my_pe() == 0:
+            yield from ctx.p(sym, 3.5, pe=1)
+        yield from ctx.barrier_all()
+        value = None
+        if ctx.my_pe() == 0:
+            value = yield from ctx.g(sym, pe=1)
+        yield from ctx.barrier_all()
+        return value
+
+    res = run(1, main)
+    assert res.results[0] == 3.5
+
+
+def test_scalar_int_dtype():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(8, domain=Domain.GPU)
+        if ctx.my_pe() == 0:
+            yield from ctx.p(sym, 42, pe=ctx.npes - 1, dtype="int64")
+        yield from ctx.barrier_all()
+        got = None
+        if ctx.my_pe() == 0:
+            got = yield from ctx.g(sym, pe=ctx.npes - 1, dtype="int64")
+        yield from ctx.barrier_all()
+        return got
+
+    res = run(2, main)
+    assert res.results[0] == 42
+
+
+# -------------------------------------------------------------------- iput
+def test_iput_strided_target():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(10 * 8, domain=Domain.HOST)
+        if ctx.my_pe() == 0:
+            # every 2nd source element -> every 3rd target slot
+            src = np.arange(10, dtype=np.float64)
+            yield from ctx.iput(sym, src, tst=3, sst=2, nelems=4, pe=1)
+            yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        return sym.as_array(np.float64, 10).tolist() if ctx.my_pe() == 1 else None
+
+    res = run(1, main)
+    got = res.results[1]
+    assert got[0] == 0.0 and got[3] == 2.0 and got[6] == 4.0 and got[9] == 6.0
+    assert got[1] == got[2] == got[4] == got[5] == 0.0  # gaps untouched
+
+
+def test_iput_gaps_preserved():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(8 * 8, domain=Domain.HOST)
+        sym.as_array(np.float64)[:] = -1.0
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 0:
+            yield from ctx.iput(sym, np.array([7.0, 8.0]), tst=2, sst=1, nelems=2, pe=1)
+            yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        return sym.as_array(np.float64).tolist() if ctx.my_pe() == 1 else None
+
+    res = run(1, main)
+    assert res.results[1][:4] == [7.0, -1.0, 8.0, -1.0]
+
+
+def test_iput_stride_validation():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(64)
+        yield from ctx.iput(sym, np.zeros(4), tst=0, sst=1, nelems=2, pe=0)
+
+    with pytest.raises(ShmemError, match="strides"):
+        run(1, main, pes_per_node=1)
+
+
+def test_iput_source_overrun():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(256)
+        yield from ctx.iput(sym, np.zeros(4), tst=1, sst=3, nelems=4, pe=0)
+
+    with pytest.raises(ShmemError, match="walks off"):
+        run(1, main, pes_per_node=1)
+
+
+# -------------------------------------------------------------------- iget
+def test_iget_strided_source():
+    def main2(ctx):
+        sym = yield from ctx.shmalloc(12 * 8, domain=Domain.HOST)
+        sym.as_array(np.float64)[:] = np.arange(12) * (ctx.my_pe() + 1)
+        yield from ctx.barrier_all()
+        out = None
+        if ctx.my_pe() == 0:
+            arr = yield from ctx.iget(sym, tst=1, sst=3, nelems=4, pe=1, dtype="float64")
+            out = arr.tolist()
+        yield from ctx.barrier_all()
+        return out
+
+    res = run(1, main2)
+    assert res.results[0] == [0.0, 6.0, 12.0, 18.0]  # elements 0,3,6,9 x2
+
+
+def test_iget_target_stride_layout():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(4 * 8, domain=Domain.HOST)
+        sym.as_array(np.float64)[:] = [1, 2, 3, 4]
+        yield from ctx.barrier_all()
+        out = None
+        if ctx.my_pe() == 0:
+            arr = yield from ctx.iget(sym, tst=2, sst=1, nelems=3, pe=1)
+            out = arr.tolist()
+        yield from ctx.barrier_all()
+        return out
+
+    res = run(1, main)
+    assert res.results[0] == [1.0, 0.0, 2.0, 0.0, 3.0]
+
+
+def test_strided_is_latency_bound():
+    """n strided elements cost ~n small-put latencies — the famous
+    iput cliff versus one contiguous put of the same payload."""
+
+    def strided(ctx):
+        sym = yield from ctx.shmalloc(64 * 8, domain=Domain.HOST)
+        yield from ctx.barrier_all()
+        t0 = ctx.now
+        if ctx.my_pe() == 0:
+            yield from ctx.iput(sym, np.zeros(64), tst=1, sst=1, nelems=64, pe=ctx.npes - 1)
+            yield from ctx.quiet()
+        dt = ctx.now - t0
+        yield from ctx.barrier_all()
+        return dt
+
+    def contiguous(ctx):
+        sym = yield from ctx.shmalloc(64 * 8, domain=Domain.HOST)
+        buf = ctx.cuda.malloc_host(64 * 8)
+        yield from ctx.barrier_all()
+        t0 = ctx.now
+        if ctx.my_pe() == 0:
+            yield from ctx.putmem(sym, buf, 64 * 8, pe=ctx.npes - 1)
+            yield from ctx.quiet()
+        dt = ctx.now - t0
+        yield from ctx.barrier_all()
+        return dt
+
+    t_strided = run(2, strided).results[0]
+    t_contig = run(2, contiguous).results[0]
+    assert t_strided > 10 * t_contig
+
+
+# ------------------------------------------------------------- non-blocking
+def test_putmem_nbi_completes_at_quiet():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(4096, domain=Domain.GPU)
+        src = ctx.cuda.malloc_host(4096)
+        src.fill(0x5C, 4096)
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 0:
+            t0 = ctx.now
+            ctx.putmem_nbi(sym, src, 4096, pe=ctx.npes - 1)
+            assert ctx.now == t0  # returned without yielding any time
+            yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == ctx.npes - 1:
+            return sym.read(4096) == bytes([0x5C]) * 4096
+        return None
+
+    res = run(2, main)
+    assert res.results[-1] is True
+
+
+def test_getmem_nbi_completes_at_quiet():
+    def main(ctx):
+        sym = yield from ctx.shmalloc(1024, domain=Domain.GPU)
+        sym.fill(ctx.my_pe() + 1)
+        dst = ctx.cuda.malloc_host(1024)
+        yield from ctx.barrier_all()
+        ok = None
+        if ctx.my_pe() == 0:
+            ctx.getmem_nbi(dst, sym, 1024, pe=ctx.npes - 1)
+            yield from ctx.quiet()
+            ok = dst.read(16) == bytes([ctx.npes]) * 16
+        yield from ctx.barrier_all()
+        return ok
+
+    res = run(2, main)
+    assert res.results[0] is True
+
+
+def test_multiple_nbi_puts_pipeline():
+    """Several nbi puts issued back-to-back all land after one quiet."""
+
+    def main(ctx):
+        syms = []
+        for _ in range(4):
+            s = yield from ctx.shmalloc(512, domain=Domain.GPU)
+            syms.append(s)
+        bufs = []
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == 0:
+            for i, s in enumerate(syms):
+                b = ctx.cuda.malloc_host(512)
+                b.fill(i + 1, 512)
+                bufs.append(b)
+                ctx.putmem_nbi(s, b, 512, pe=ctx.npes - 1)
+            yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        if ctx.my_pe() == ctx.npes - 1:
+            return [s.read(1)[0] for s in syms]
+        return None
+
+    res = run(2, main)
+    assert res.results[-1] == [1, 2, 3, 4]
+
+
+# ---------------------------------------------------------- put-with-signal
+def test_putmem_signal_orders_data_before_signal():
+    """wait_until on the signal word must observe the data — across a
+    large pipelined put whose chunks land long after the call returns."""
+
+    def main(ctx):
+        data = yield from ctx.shmalloc(1 << 20, domain=Domain.GPU)
+        sig = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        if ctx.my_pe() == 0:
+            src = ctx.cuda.malloc(1 << 20)
+            src.fill(0x6D, 1 << 20)
+            yield from ctx.putmem_signal(data, src, 1 << 20, sig, 1, pe=1)
+            # source returns early; the signal chases the data
+            yield from ctx.quiet()
+            return None
+        yield from ctx.wait_until(sig, "==", 1)
+        # the instant the signal shows, every data byte must be there
+        return data.read(1 << 20) == bytes([0x6D]) * (1 << 20)
+
+    res = ShmemJob(nodes=2, pes_per_node=1, design="enhanced-gdr").run(main)
+    assert res.results[1] is True
+
+
+def test_putmem_signal_returns_before_signal_lands():
+    def main(ctx):
+        data = yield from ctx.shmalloc(1 << 20, domain=Domain.GPU)
+        sig = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        out = None
+        if ctx.my_pe() == 0:
+            src = ctx.cuda.malloc(1 << 20)
+            t0 = ctx.now
+            yield from ctx.putmem_signal(data, src, 1 << 20, sig, 7, pe=1)
+            t_call = ctx.now - t0
+            yield from ctx.quiet()
+            t_full = ctx.now - t0
+            out = (t_call, t_full)
+        else:
+            yield from ctx.wait_until(sig, "==", 7)
+        yield from ctx.barrier_all()
+        return out
+
+    res = ShmemJob(nodes=2, pes_per_node=1, design="enhanced-gdr").run(main)
+    t_call, t_full = res.results[0]
+    assert t_call < t_full  # asynchronous chase
+
+
+def test_putmem_signal_small_message():
+    def main(ctx):
+        data = yield from ctx.shmalloc(64, domain=Domain.GPU)
+        sig = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        if ctx.my_pe() == 0:
+            src = ctx.cuda.malloc_host(64)
+            src.fill(0x31, 64)
+            yield from ctx.putmem_signal(data, src, 64, sig, 99, pe=1)
+            yield from ctx.quiet()
+            return None
+        yield from ctx.wait_until(sig, ">=", 99)
+        return data.read(64) == bytes([0x31]) * 64
+
+    res = ShmemJob(nodes=1, design="enhanced-gdr").run(main)
+    assert res.results[1] is True

@@ -1,0 +1,284 @@
+"""Tests for condition events, resources, stores, and monitoring."""
+
+import pytest
+
+from repro.simulator import (
+    AllOf,
+    AnyOf,
+    Probe,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+    Trace,
+)
+
+
+# ---------------------------------------------------------------- conditions
+def test_all_of_waits_for_slowest():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(3.0, value="b")
+        result = yield sim.all_of([t1, t2])
+        return (sim.now, result[t1], result[t2])
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == (3.0, "a", "b")
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.all_of([])
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 0.0
+
+
+def test_any_of_takes_first():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(5.0, value="slow")
+        t2 = sim.timeout(1.0, value="fast")
+        result = yield sim.any_of([t1, t2])
+        return (sim.now, result.values())
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value[0] == 1.0
+    assert p.value[1] == ["fast"]
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+
+
+def test_all_of_failure_propagates():
+    sim = Simulator()
+    ev = sim.event()
+
+    def proc(sim):
+        try:
+            yield sim.all_of([sim.timeout(10.0), ev])
+        except KeyError:
+            return "failed"
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        ev.fail(KeyError("child"))
+
+    p = sim.process(proc(sim))
+    sim.process(failer(sim))
+    sim.run()
+    assert p.value == "failed"
+
+
+def test_condition_value_mapping():
+    sim = Simulator()
+
+    def proc(sim):
+        evs = [sim.timeout(float(i), value=i * 10) for i in range(1, 4)]
+        result = yield sim.all_of(evs)
+        assert len(result) == 3
+        assert all(e in result for e in evs)
+        return [result[e] for e in evs]
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == [10, 20, 30]
+
+
+# ----------------------------------------------------------------- resources
+def test_resource_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, name):
+        req = res.request()
+        yield req
+        log.append((name, "in", sim.now))
+        yield sim.timeout(2.0)
+        log.append((name, "out", sim.now))
+        res.release(req)
+
+    sim.process(user(sim, "a"))
+    sim.process(user(sim, "b"))
+    sim.run()
+    assert log == [("a", "in", 0.0), ("a", "out", 2.0), ("b", "in", 2.0), ("b", "out", 4.0)]
+
+
+def test_resource_capacity_two_allows_overlap():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    finished = []
+
+    def user(sim, name):
+        req = res.request()
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+        finished.append((name, sim.now))
+
+    for name in ("a", "b", "c"):
+        sim.process(user(sim, name))
+    sim.run()
+    assert finished == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+
+def test_resource_counts():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim):
+        req = yield from res.acquire()
+        assert res.count == 1
+        yield sim.timeout(1.0)
+        res.release(req)
+
+    def contender(sim):
+        yield sim.timeout(0.5)
+        req = res.request()
+        assert res.queued == 1
+        yield req
+        res.release(req)
+
+    sim.process(holder(sim))
+    sim.process(contender(sim))
+    sim.run()
+    assert res.count == 0 and res.queued == 0
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_release_unknown_request():
+    sim = Simulator()
+    a = Resource(sim, capacity=1)
+    b = Resource(sim, capacity=1)
+    req = a.request()
+    with pytest.raises(SimulationError):
+        b.release(req)
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()  # grabs the slot
+    queued = res.request()
+    res.release(queued)  # cancel before grant
+    assert res.queued == 0
+    res.release(held)
+    assert res.count == 0
+
+
+# --------------------------------------------------------------------- store
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for i in range(3):
+            yield sim.timeout(1.0)
+            store.put(i)
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+
+def test_store_get_before_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer(sim):
+        item = yield store.get()
+        return (item, sim.now)
+
+    def producer(sim):
+        yield sim.timeout(4.0)
+        store.put("x")
+
+    p = sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert p.value == ("x", 4.0)
+
+
+def test_store_get_nowait():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.get_nowait() is None
+    store.put(7)
+    assert len(store) == 1
+    assert store.get_nowait() == 7
+    assert len(store) == 0
+
+
+# ------------------------------------------------------------------- monitor
+def test_trace_records_events():
+    sim = Simulator()
+    trace = Trace().attach(sim)
+
+    def proc(sim):
+        yield sim.timeout(1.0, name="tick")
+
+    sim.process(proc(sim), name="p0")
+    sim.run()
+    assert "tick" in trace.names()
+    trace.clear()
+    assert trace.records == []
+
+
+def test_trace_filter():
+    sim = Simulator()
+    trace = Trace(filter=lambda ev: ev.name == "wanted").attach(sim)
+
+    def proc(sim):
+        yield sim.timeout(1.0, name="unwanted")
+        yield sim.timeout(1.0, name="wanted")
+
+    sim.process(proc(sim))
+    sim.run()
+    assert trace.names() == ["wanted"]
+
+
+def test_probe_statistics():
+    probe = Probe()
+    for v in (1.0, 2.0, 3.0, 10.0):
+        probe.sample("lat", v)
+    assert probe.count("lat") == 4
+    assert probe.mean("lat") == pytest.approx(4.0)
+    assert probe.median("lat") == pytest.approx(2.5)
+    assert probe.maximum("lat") == pytest.approx(10.0)
+    assert probe.total("lat") == pytest.approx(16.0)
+    assert probe.series("lat") == [1.0, 2.0, 3.0, 10.0]
+    assert probe.names() == ["lat"]
+
+
+def test_probe_missing_series():
+    probe = Probe()
+    with pytest.raises(KeyError):
+        probe.mean("nope")
+    assert probe.series("nope") == []
+    assert probe.count("nope") == 0
+    assert probe.total("nope") == 0

@@ -1,0 +1,73 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.units import (
+    KiB,
+    MiB,
+    GiB,
+    MBps,
+    fmt_size,
+    message_sizes,
+    msec,
+    nsec,
+    parse_size,
+    to_MBps,
+    to_msec,
+    to_usec,
+    usec,
+)
+
+
+def test_time_conversions_roundtrip():
+    assert to_usec(usec(3.13)) == pytest.approx(3.13)
+    assert to_msec(msec(2.5)) == pytest.approx(2.5)
+    assert nsec(1000) == pytest.approx(usec(1))
+
+
+def test_bandwidth_conversions():
+    assert to_MBps(MBps(6397)) == pytest.approx(6397)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("8", 8),
+        ("8B", 8),
+        ("4K", 4 * KiB),
+        ("4KB", 4 * KiB),
+        ("4KiB", 4 * KiB),
+        ("2MB", 2 * MiB),
+        ("1GiB", 1 * GiB),
+        ("0.5K", 512),
+        (" 16 kb ", 16 * KiB),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("text", ["", "abc", "4X", "-8", "1.3B"])
+def test_parse_size_rejects(text):
+    with pytest.raises(ValueError):
+        parse_size(text)
+
+
+def test_fmt_size():
+    assert fmt_size(8) == "8B"
+    assert fmt_size(2048) == "2KB"
+    assert fmt_size(3 * MiB) == "3MB"
+    assert fmt_size(1 * GiB) == "1GB"
+    assert fmt_size(1500) == "1500B"  # not a clean multiple
+
+
+def test_fmt_parse_roundtrip():
+    for n in (1, 512, 4 * KiB, 3 * MiB, 2 * GiB):
+        assert parse_size(fmt_size(n)) == n
+
+
+def test_message_sizes_sweep():
+    sizes = message_sizes(1, 1024)
+    assert sizes == [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    assert message_sizes(8, 8) == [8]
+    assert message_sizes(16, 8) == []
