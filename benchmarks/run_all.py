@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact through the cached parallel runner.
+
+Usage:
+    PYTHONPATH=src python benchmarks/run_all.py [--smoke] [--jobs N]
+        [--verbose] [--output BENCH_PR1.json] [--no-tier1] [--fresh]
+
+The sweep runs each experiment in :mod:`repro.reporting.experiments`
+(in parallel across a process pool, memoized under
+``benchmarks/.bench_cache/`` keyed by a source-tree fingerprint) and
+writes a JSON report with per-target wall-times and engine event
+counters — ``fastpath_batches > 0`` is the proof that the batched
+transfer fast paths carried the sweep.  Unless ``--no-tier1`` is given
+(or ``--smoke``, which implies it), it also times the tier-1 pytest
+suite and records the speedup against the pre-optimization baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench.runner import SweepRunner  # noqa: E402
+from repro.reporting.experiments import EXPERIMENTS  # noqa: E402
+
+#: Tier-1 wall time of the pre-optimization tree on the same workload
+#: (measured before the engine/fast-path work; see DESIGN.md
+#: "Performance engineering").
+TIER1_BASELINE_SECONDS = 20.6
+
+#: A fast, representative subset for CI smoke runs.
+SMOKE_TARGETS = ["table2", "fig6b", "fig8b", "fig8d", "fig9b", "fig10"]
+
+
+def time_tier1() -> float:
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "tests"],
+        cwd=REPO,
+        env={**dict(__import__("os").environ), "PYTHONPATH": "src"},
+        capture_output=True,
+        text=True,
+    )
+    wall = time.perf_counter() - t0
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+        raise SystemExit("tier-1 suite failed; not recording a benchmark report")
+    return wall
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="quick sweeps over a representative target subset")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="process-pool size (default: CPU count)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="report cache hits/misses and pool size per target")
+    ap.add_argument("--output", default=str(REPO / "BENCH_PR1.json"),
+                    help="where to write the JSON report")
+    ap.add_argument("--no-tier1", action="store_true",
+                    help="skip timing the tier-1 pytest suite")
+    ap.add_argument("--fresh", action="store_true",
+                    help="drop the on-disk cache before running")
+    args = ap.parse_args(argv)
+
+    cache_dir = REPO / "benchmarks" / ".bench_cache"
+    if args.fresh and cache_dir.exists():
+        shutil.rmtree(cache_dir)
+
+    targets = SMOKE_TARGETS if args.smoke else list(EXPERIMENTS)
+    runner = SweepRunner(cache_dir, jobs=args.jobs, quick=args.smoke)
+    t0 = time.perf_counter()
+    report = runner.run(targets, verbose=args.verbose)
+    sweep_wall = time.perf_counter() - t0
+
+    doc = report.as_dict()
+    doc["sweep_wall_seconds"] = sweep_wall
+    totals = doc["engine_totals"]
+
+    if not (args.no_tier1 or args.smoke):
+        tier1 = time_tier1()
+        doc["tier1"] = {
+            "wall_seconds": tier1,
+            "baseline_seconds": TIER1_BASELINE_SECONDS,
+            "speedup": TIER1_BASELINE_SECONDS / tier1,
+        }
+
+    out_path = Path(args.output)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    failed = [t.exp_id for t in report.targets if t.error]
+    print(
+        f"{len(report.targets)} targets in {sweep_wall:.1f}s wall "
+        f"({report.cache_hits} cached, {report.cache_misses} run, "
+        f"pool={report.jobs}); engine: {totals.get('processed', 0)} events, "
+        f"{totals.get('fastpath_batches', 0)} batched pipelines "
+        f"(~{totals.get('fastpath_events_saved', 0)} events elided)"
+    )
+    if "tier1" in doc:
+        t1 = doc["tier1"]
+        print(
+            f"tier-1: {t1['wall_seconds']:.1f}s vs {t1['baseline_seconds']:.1f}s "
+            f"baseline ({t1['speedup']:.2f}x)"
+        )
+    print(f"report: {args.output}")
+    if failed:
+        print(f"FAILED targets: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

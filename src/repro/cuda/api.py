@@ -138,7 +138,7 @@ class CudaContext:
         if nbytes == 0:
             return 0
         spec = self._spec_for(dst, src, nbytes)
-        payload = src.read(nbytes)
+        payload = src.snapshot(nbytes)
         dst._check(nbytes)  # fail fast before charging time
         yield from spec.execute(self.sim)
         dst.write(payload)

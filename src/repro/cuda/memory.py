@@ -37,7 +37,7 @@ class MemKind(enum.Enum):
 class Allocation:
     """A contiguous, byte-backed memory region."""
 
-    __slots__ = ("space", "kind", "node_id", "device_id", "owner", "size", "data", "base", "freed", "tag")
+    __slots__ = ("space", "kind", "node_id", "device_id", "owner", "size", "_data", "base", "freed", "tag")
 
     def __init__(
         self,
@@ -60,10 +60,24 @@ class Allocation:
         self.node_id = node_id
         self.device_id = device_id
         self.owner = owner
-        self.data = np.zeros(size, dtype=np.uint8)
+        self._data: Optional[np.ndarray] = None
         self.base = base
         self.freed = False
         self.tag = tag
+
+    @property
+    def data(self) -> np.ndarray:
+        """Backing buffer, zero-filled lazily on first touch.
+
+        Simulated heaps are large (32 MiB symmetric heaps per PE) and
+        mostly cold; deferring the ``np.zeros`` until a pointer actually
+        reads or writes keeps allocation O(1) without changing observable
+        contents — untouched memory still reads back as zeros.
+        """
+        buf = self._data
+        if buf is None:
+            buf = self._data = np.zeros(self.size, dtype=np.uint8)
+        return buf
 
     def ptr(self, offset: int = 0) -> "Ptr":
         return Ptr(self, offset)
@@ -142,11 +156,38 @@ class Ptr:
         self._check(nbytes)
         return self.alloc.data[self.offset : self.offset + nbytes].tobytes()
 
-    def write(self, payload: bytes) -> None:
-        """Write raw bytes at this pointer."""
+    def read_view(self, nbytes: int) -> np.ndarray:
+        """Zero-copy read-only view of ``nbytes`` at this pointer.
+
+        Unlike :meth:`read` this does NOT snapshot: the view aliases the
+        allocation, so it is only safe while the source is provably
+        stable (e.g. a staging slot held until the consuming write
+        completes).  The staging/pipeline paths use it to avoid copying
+        every chunk twice.
+        """
+        self._check(nbytes)
+        view = self.alloc.data[self.offset : self.offset + nbytes]
+        view.flags.writeable = False
+        return view
+
+    def snapshot(self, nbytes: int) -> np.ndarray:
+        """Like :meth:`read` but returns a uint8 ndarray copy.
+
+        The data-movement hot paths snapshot sources at issue time and
+        write destinations at completion; an ndarray round-trips into
+        :meth:`write` without the ``bytes`` ⇄ array conversions.
+        """
+        self._check(nbytes)
+        return self.alloc.data[self.offset : self.offset + nbytes].copy()
+
+    def write(self, payload) -> None:
+        """Write raw bytes (``bytes``/``memoryview``/uint8 ndarray) here."""
         n = len(payload)
         self._check(n)
-        self.alloc.data[self.offset : self.offset + n] = np.frombuffer(payload, dtype=np.uint8)
+        if isinstance(payload, np.ndarray):
+            self.alloc.data[self.offset : self.offset + n] = payload
+        else:
+            self.alloc.data[self.offset : self.offset + n] = np.frombuffer(payload, dtype=np.uint8)
 
     def as_array(self, dtype, count: Optional[int] = None) -> np.ndarray:
         """A mutable numpy view (used by compute kernels and tests)."""

@@ -50,21 +50,11 @@ class LinkDirection:
     def repair(self) -> None:
         self._down = False
 
-    def occupy(self, nbytes: int, latency: float, bandwidth: float) -> Generator:
-        """Hold this direction for the duration of a transfer."""
-        if self._down:
-            raise LinkDown(f"link direction {self.name} is down")
-        req = self.resource.request()
-        yield req
-        try:
-            if self._down:
-                raise LinkDown(f"link direction {self.name} went down")
-            duration = latency + (nbytes / bandwidth if bandwidth else 0.0)
-            yield self.link.sim.timeout(duration)
-            self.bytes_moved += nbytes
-            self.transfers += 1
-        finally:
-            self.resource.release(req)
+    @property
+    def idle(self) -> bool:
+        """Up, unoccupied, and nobody queued — a batched fast path may
+        claim this direction without perturbing any FIFO ordering."""
+        return not self._down and self.resource.count == 0 and self.resource.queued == 0
 
 
 class Link:
@@ -141,6 +131,36 @@ class TransferSpec:
             t += self.nbytes / bw
         return t
 
+    def duration(self) -> float:
+        """The held time of :meth:`execute` (everything after ``setup``).
+
+        The batched fast paths replay :meth:`execute` in closed form, so
+        this must perform the *same float operations in the same order*
+        as the event-accurate path — down to the last ulp.
+        """
+        duration = sum(lat for _d, lat, _bw in self.segments)
+        bw = self.bottleneck_bandwidth()
+        if bw > 0:
+            duration += self.nbytes / bw
+        return duration
+
+    def directions(self) -> List[LinkDirection]:
+        """The deduplicated hop directions, in global acquisition order."""
+        out: List[LinkDirection] = []
+        seen = set()
+        for d, _lat, _bw in self.segments:
+            if id(d) not in seen:
+                seen.add(id(d))
+                out.append(d)
+        out.sort(key=lambda d: d.name)
+        return out
+
+    def count_transfer(self) -> None:
+        """Bump per-direction byte/transfer counters for one execution."""
+        for d in self.directions():
+            d.bytes_moved += self.nbytes
+            d.transfers += 1
+
     def execute(self, sim: Simulator) -> Generator:
         """Run the transfer (cut-through across hops).
 
@@ -150,13 +170,7 @@ class TransferSpec:
         """
         if self.setup:
             yield sim.timeout(self.setup, name=f"{self.label}:setup")
-        directions: List[LinkDirection] = []
-        seen = set()
-        for d, _lat, _bw in self.segments:
-            if id(d) not in seen:
-                seen.add(id(d))
-                directions.append(d)
-        directions.sort(key=lambda d: d.name)
+        directions = self.directions()
         granted = []
         try:
             for d in directions:
@@ -167,11 +181,7 @@ class TransferSpec:
                 granted.append((d, req))
                 if d.is_down:
                     raise LinkDown(f"link direction {d.name} went down")
-            duration = sum(lat for _d, lat, _bw in self.segments)
-            bw = self.bottleneck_bandwidth()
-            if bw > 0:
-                duration += self.nbytes / bw
-            yield sim.timeout(duration, name=self.label)
+            yield sim.timeout(self.duration(), name=self.label)
             for d in directions:
                 d.bytes_moved += self.nbytes
                 d.transfers += 1
@@ -185,7 +195,9 @@ def chunked(nbytes: int, chunk: int) -> Sequence[int]:
     """Split a transfer into pipeline chunks (last may be short)."""
     if chunk <= 0:
         raise ConfigurationError(f"chunk must be positive, got {chunk}")
-    if nbytes <= 0:
+    if nbytes < 0:
+        raise ConfigurationError(f"cannot chunk a negative byte count: {nbytes}")
+    if nbytes == 0:
         return []
     full, rem = divmod(nbytes, chunk)
     sizes = [chunk] * full

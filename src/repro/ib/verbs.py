@@ -108,6 +108,33 @@ class Verbs:
         return remote_mr.node_id, node.hca_for_host()
 
     # ---------------------------------------------------------- RDMA write
+    def write_path(
+        self,
+        ep: Endpoint,
+        local: Ptr,
+        remote_mr: MemoryRegion,
+        nbytes: int,
+        remote_hca: Optional[int] = None,
+    ) -> Tuple[TransferSpec, "object"]:
+        """The cut-through path :meth:`rdma_write` would execute, plus the
+        destination HCA.  Shared with the batched pipeline fast paths so
+        both compute bit-identical transfer timings."""
+        dst_node_id, dst_hca_id = self._remote_endpoint_hca(remote_mr, remote_hca)
+        dst_hca = self.hw.nodes[dst_node_id].hcas[dst_hca_id]
+        dst_pcie = self.hw.nodes[dst_node_id].pcie
+        if remote_mr.kind is MemKind.DEVICE:
+            landing = dst_pcie.p2p(dst_hca_id, remote_mr.alloc.device_id, nbytes, read=False)
+        else:
+            landing = dst_pcie.hca_host_leg(dst_hca_id, nbytes, to_host=True)
+
+        # One cut-through path: source PCIe fetch -> fabric -> target PCIe.
+        path = self._local_leg(ep, local, nbytes, read=True)
+        path.extend(self.hw.fabric.wire(ep.hca, dst_hca, nbytes))
+        path.extend(landing)
+        path.setup += self.params.hca_tx_overhead + self.params.hca_rx_overhead
+        path.label = "rdma_write"
+        return path, dst_hca
+
     def rdma_write(
         self,
         ep: Endpoint,
@@ -140,20 +167,7 @@ class Verbs:
             posted.succeed(sim.now)
 
         ep.hca.count_tx()
-        dst_node_id, dst_hca_id = self._remote_endpoint_hca(remote_mr, remote_hca)
-        dst_hca = self.hw.nodes[dst_node_id].hcas[dst_hca_id]
-        dst_pcie = self.hw.nodes[dst_node_id].pcie
-        if dst_ptr.kind is MemKind.DEVICE:
-            landing = dst_pcie.p2p(dst_hca_id, dst_ptr.device_id, nbytes, read=False)
-        else:
-            landing = dst_pcie.hca_host_leg(dst_hca_id, nbytes, to_host=True)
-
-        # One cut-through path: source PCIe fetch -> fabric -> target PCIe.
-        path = self._local_leg(ep, local, nbytes, read=True)
-        path.extend(self.hw.fabric.wire(ep.hca, dst_hca, nbytes))
-        path.extend(landing)
-        path.setup += p.hca_tx_overhead + p.hca_rx_overhead
-        path.label = "rdma_write"
+        path, dst_hca = self.write_path(ep, local, remote_mr, nbytes, remote_hca)
         yield from path.execute(sim)
         dst_hca.count_rx()
 

@@ -122,6 +122,7 @@ class ShmemJob:
             self.sim.process(wrapper(ctx), name=f"pe{ctx.pe}.main") for ctx in self.contexts
         ]
         self.sim.run(until=until)
+        self.sim.flush_stats()  # fold engine counters into the global tally
         stuck = [i for i, p in enumerate(procs) if not p.triggered]
         if stuck:
             raise ShmemError(

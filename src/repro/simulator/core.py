@@ -2,10 +2,27 @@
 
 Design notes
 ------------
-The scheduler is a binary heap of ``(time, priority, seq, event)``
-entries.  ``seq`` is a monotonically increasing tie-breaker so that
-events scheduled at the same instant fire in FIFO order — this makes
-every simulation fully deterministic, which the test-suite relies on.
+The scheduler keeps two structures:
+
+* a binary heap of ``(time, seq, event)`` entries for everything
+  scheduled at NORMAL priority (timeouts, plain ``succeed()`` calls);
+* a FIFO *ready queue* for URGENT work at the current instant —
+  resource hand-offs and process resumptions.
+
+``seq`` is a monotonically increasing tie-breaker so that events
+scheduled at the same instant fire in FIFO order — this makes every
+simulation fully deterministic, which the test-suite relies on.
+
+The split is an optimization, not a semantic change: URGENT entries
+are *only ever* pushed with zero delay (``succeed``/``fail`` fire at
+the current instant; timeouts are always NORMAL), so draining the
+ready queue before the heap reproduces the exact
+``(time, priority, seq)`` order the old single-heap scheduler
+produced.  Process resumptions ride the ready queue as plain
+``(process, value, exc)`` tuples instead of throwaway ``boot``/``imm``
+Event allocations; when a :class:`~repro.simulator.monitor.Trace` is
+attached the engine falls back to real Events so traces keep their
+full event-per-resume fidelity.
 
 Virtual time is a ``float`` in **seconds**.  All hardware constants in
 :mod:`repro.hardware.params` are expressed in seconds / bytes-per-second
@@ -16,7 +33,8 @@ conversions.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Union
 
 
 class SimulationError(RuntimeError):
@@ -28,6 +46,67 @@ NORMAL = 1
 #: Priority used for events that must fire before ordinary ones at the
 #: same instant (e.g. resource hand-off).
 URGENT = 0
+
+
+class SimStats:
+    """Engine counters; read via :attr:`Simulator.stats`.
+
+    ``scheduled``/``processed`` count every unit of scheduler work
+    (heap entries, ready-queue events, and process resumptions alike),
+    so a drop between two equivalent runs is direct evidence that a
+    fast path elided events.  ``fastpath_batches`` counts batched
+    pipeline transfers that took the closed-form path and
+    ``fastpath_events_saved`` estimates how many per-chunk events each
+    batch replaced.
+    """
+
+    __slots__ = (
+        "scheduled",
+        "processed",
+        "resumed_fast",
+        "fastpath_batches",
+        "fastpath_events_saved",
+    )
+
+    def __init__(self) -> None:
+        self.scheduled = 0
+        self.processed = 0
+        self.resumed_fast = 0
+        self.fastpath_batches = 0
+        self.fastpath_events_saved = 0
+
+    def absorb(self, other: "SimStats") -> None:
+        self.scheduled += other.scheduled
+        self.processed += other.processed
+        self.resumed_fast += other.resumed_fast
+        self.fastpath_batches += other.fastpath_batches
+        self.fastpath_events_saved += other.fastpath_events_saved
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        body = " ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<SimStats {body}>"
+
+
+#: Process-wide accumulator.  :meth:`Simulator.flush_stats` folds a
+#: simulator's counters in here; :class:`repro.shmem.job.ShmemJob` does
+#: so automatically at the end of every run, so harnesses that drive
+#: many jobs (the benchmark runner, the test-suite) can report engine
+#: totals without threading a Simulator handle around.
+GLOBAL_STATS = SimStats()
+
+
+def reset_global_stats() -> SimStats:
+    """Zero the process-wide counters in place; returns the accumulator.
+
+    In place so that ``from ... import GLOBAL_STATS`` references held by
+    other modules keep observing the live tally after a reset.
+    """
+    for name in SimStats.__slots__:
+        setattr(GLOBAL_STATS, name, 0)
+    return GLOBAL_STATS
 
 
 class Event:
@@ -165,39 +244,46 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         # Kick-start at the current instant.
-        boot = Event(sim, name=f"{self.name}:boot")
-        boot.callbacks.append(self._resume)
-        boot.succeed(priority=URGENT)
+        if sim.trace is None:
+            sim._push_resume(self, None, None)
+        else:
+            boot = Event(sim, name=f"{self.name}:boot")
+            boot.callbacks.append(self._resume)
+            boot.succeed(priority=URGENT)
 
     @property
     def is_alive(self) -> bool:
         return not self._triggered
 
     def _resume(self, trigger: Event) -> None:
+        if trigger._exc is not None:
+            trigger.defuse()
+        self._step(trigger._value, trigger._exc)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         self._waiting_on = None
         sim = self.sim
         sim._active_process = self
         try:
-            if trigger._exc is not None:
-                trigger.defuse()
-                target = self._gen.throw(trigger._exc)
+            if exc is not None:
+                target = self._gen.throw(exc)
             else:
-                target = self._gen.send(trigger._value)
+                target = self._gen.send(value)
         except StopIteration as stop:
             sim._active_process = None
             self._do_succeed(stop.value)
             return
-        except BaseException as exc:
+        except BaseException as caught:
             sim._active_process = None
-            self._do_fail(exc)
+            self._do_fail(caught)
             return
         sim._active_process = None
         if not isinstance(target, Event):
-            exc = SimulationError(
+            bad = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Events"
             )
             self._gen.close()
-            self._do_fail(exc)
+            self._do_fail(bad)
             return
         if target.sim is not self.sim:
             self._gen.close()
@@ -206,12 +292,15 @@ class Process(Event):
         self._waiting_on = target
         if target._processed:
             # Already fired: resume immediately (next scheduler step).
-            resume = Event(self.sim, name=f"{self.name}:imm")
-            resume._value = target._value
-            resume._exc = target._exc
-            resume.callbacks.append(self._resume)
-            resume._triggered = True
-            self.sim._push(resume, 0.0, URGENT)
+            if sim.trace is None:
+                sim._push_resume(self, target._value, target._exc)
+            else:
+                resume = Event(self.sim, name=f"{self.name}:imm")
+                resume._value = target._value
+                resume._exc = target._exc
+                resume.callbacks.append(self._resume)
+                resume._triggered = True
+                self.sim._push(resume, 0.0, URGENT)
         else:
             target.callbacks.append(self._resume)
 
@@ -242,10 +331,18 @@ class Simulator:
 
     def __init__(self) -> None:
         self._queue: List[tuple] = []
+        self._ready: Deque[Union[Event, tuple]] = deque()
         self._now: float = 0.0
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self.trace = None  # type: Optional[Any]  # set by monitor.Trace.attach
+        self.stats = SimStats()
+        self._flushed = SimStats()
+        #: Master switch for the batched closed-form transfer paths in
+        #: the hardware/runtime layers.  They additionally require no
+        #: trace and no contention; tests flip this off to force the
+        #: event-accurate path.
+        self.fastpath = True
 
     # -- clock ---------------------------------------------------------
     @property
@@ -257,12 +354,43 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    def quiescent(self) -> bool:
+        """True when nothing besides the currently-running process is
+        runnable or scheduled.
+
+        This is the safety gate for the batched transfer fast paths:
+        when it holds, every other process is blocked on events that
+        only *this* operation's completion callbacks can trigger, so
+        collapsing the operation's per-chunk events into a handful of
+        absolutely-timed wake-ups cannot reorder any grant or wake-up
+        another party would have observed.
+        """
+        return not self._ready and not self._queue
+
     # -- event construction --------------------------------------------
     def event(self, name: str = "") -> Event:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
         return Timeout(self, delay, value, name)
+
+    def wake_at(self, when: float, value: Any = None, name: str = "") -> Event:
+        """An event firing at absolute time ``when`` (NORMAL priority).
+
+        Used by the batched transfer fast paths, whose completion times
+        are computed in absolute terms: scheduling ``timeout(when - now)``
+        would re-round the float and could drift off the event-accurate
+        path by one ulp.
+        """
+        if when < self._now:
+            raise SimulationError(f"wake_at({when!r}) is in the past (now={self._now!r})")
+        ev = Event(self, name or f"wake_at({when:g})")
+        ev._triggered = True
+        ev._value = value
+        self._seq += 1
+        self.stats.scheduled += 1
+        heapq.heappush(self._queue, (when, self._seq, ev))
+        return ev
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name)
@@ -279,14 +407,35 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------
     def _push(self, event: Event, delay: float, priority: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self.stats.scheduled += 1
+        if priority == URGENT:
+            # succeed()/fail() always push at the current instant, so
+            # URGENT entries never carry a delay; FIFO order here equals
+            # the old heap's (time, URGENT, seq) order.
+            self._ready.append(event)
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _push_resume(self, process: Process, value: Any, exc: Optional[BaseException]) -> None:
+        self.stats.scheduled += 1
+        self._ready.append((process, value, exc))
 
     def step(self) -> None:
         """Process the single next event."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - heap guarantees monotone
-            raise SimulationError("time went backwards")
+        self.stats.processed += 1
+        if self._ready:
+            item = self._ready.popleft()
+            if item.__class__ is tuple:
+                self.stats.resumed_fast += 1
+                proc, value, exc = item
+                proc._step(value, exc)
+                return
+            if self.trace is not None:
+                self.trace._on_fire(self._now, item)
+            item._run_callbacks()
+            return
+        when, _seq, event = heapq.heappop(self._queue)
         self._now = when
         if self.trace is not None:
             self.trace._on_fire(self._now, event)
@@ -299,9 +448,8 @@ class Simulator:
         is a runaway-loop backstop.
         """
         count = 0
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
+        while self._ready or self._queue:
+            if not self._ready and until is not None and self._queue[0][0] > until:
                 self._now = until
                 return self._now
             self.step()
@@ -312,7 +460,24 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
+        if self._ready:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
+    def flush_stats(self) -> SimStats:
+        """Fold this simulator's counters into :data:`GLOBAL_STATS`.
+
+        Safe to call repeatedly: only the delta since the previous
+        flush is added, and :attr:`stats` keeps accumulating.  Returns
+        the process-wide accumulator.
+        """
+        cur, prev = self.stats, self._flushed
+        for name in SimStats.__slots__:
+            delta = getattr(cur, name) - getattr(prev, name)
+            if delta:
+                setattr(GLOBAL_STATS, name, getattr(GLOBAL_STATS, name) + delta)
+            setattr(prev, name, getattr(cur, name))
+        return GLOBAL_STATS
+
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Simulator t={self._now:.9f} queued={len(self._queue)}>"
+        return f"<Simulator t={self._now:.9f} queued={len(self._queue) + len(self._ready)}>"

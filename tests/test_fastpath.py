@@ -1,0 +1,190 @@
+"""Equivalence tests for the batched pipeline fast paths.
+
+The closed-form fast paths in :mod:`repro.shmem.fastpath` may change
+*wall-clock* cost only; every simulated timestamp, byte, and counter
+must be identical to the event-accurate path.  Each scenario here runs
+twice — ``sim.fastpath`` on and off — and demands exact float equality
+of elapsed virtual time, program results, per-direction link counters,
+and HCA message counters.  A golden-constant test additionally pins the
+Fig 8 inter-node D-D timings so *both* paths are held to the values the
+archived benchmark results were produced with.
+"""
+
+import pytest
+
+import repro.bench.latency as lat
+from repro.errors import ConfigurationError
+from repro.hardware.links import chunked
+from repro.shmem import Domain, ShmemJob
+from repro.units import KiB, MiB
+
+from .helpers import put_latency_program
+
+SIZES = [256 * KiB, 1 * MiB, 4 * MiB]
+
+
+def _counters(job):
+    """Every observable hardware counter, keyed by direction name."""
+    snap = {}
+    for node in job.hw.nodes:
+        links = [*node.pcie.gpu_links, *node.pcie.hca_links, node.pcie.host_mem]
+        for hca in node.hcas:
+            links.append(hca.port)
+            snap[f"n{node.node_id}.hca{hca.hca_id}:msgs"] = (
+                hca.messages_tx,
+                hca.messages_rx,
+            )
+        for link in links:
+            for d in (link.fwd, link.rev):
+                snap[d.name] = (d.bytes_moved, d.transfers)
+    return snap
+
+
+def _ab_run(make_job, program):
+    """Run ``program`` with the fast path on and off; assert the
+    simulations are indistinguishable.  Returns the batches taken."""
+    outcomes = []
+    for fast in (True, False):
+        job = make_job()
+        job.sim.fastpath = fast
+        res = job.run(program)
+        outcomes.append(
+            (
+                res.results,
+                res.elapsed,
+                _counters(job),
+                dict(job.runtime.protocol_counts),
+                job.sim.stats.fastpath_batches,
+            )
+        )
+    on, off = outcomes
+    assert off[4] == 0  # the kill switch really disables it
+    assert on[0] == off[0]  # program results (incl. measured latencies)
+    assert on[1] == off[1]  # exact virtual end time, no tolerance
+    assert on[2] == off[2]  # every link/HCA counter
+    assert on[3] == off[3]  # protocol selection unchanged
+    return on[4]
+
+
+# ------------------------------------------------- uncontended pipelines
+def test_pipeline_put_sweep_identical_and_batched():
+    batches = _ab_run(
+        lambda: ShmemJob(nodes=2, design="enhanced-gdr"),
+        lat._sweep_program("put", SIZES, Domain.GPU, Domain.GPU, "far"),
+    )
+    assert batches > 0  # Pipeline-GDR-write actually took the fast path
+
+
+def test_proxy_get_sweep_identical_and_batched():
+    batches = _ab_run(
+        lambda: ShmemJob(nodes=2, design="enhanced-gdr"),
+        lat._sweep_program("get", SIZES, Domain.GPU, Domain.GPU, "far"),
+    )
+    assert batches > 0
+
+
+def test_staged_host_put_identical_and_batched():
+    # host-pipeline intra-node put D-H: staged through the own host heap.
+    batches = _ab_run(
+        lambda: ShmemJob(nodes=2, pes_per_node=2, design="host-pipeline"),
+        lat._sweep_program("put", SIZES, Domain.GPU, Domain.HOST, "near"),
+    )
+    assert batches > 0
+
+
+def test_staged_host_get_sweep_identical_and_batched():
+    # host-pipeline intra-node get H-D (remote GPU heap -> local host).
+    batches = _ab_run(
+        lambda: ShmemJob(nodes=2, pes_per_node=2, design="host-pipeline"),
+        lat._sweep_program("get", SIZES, Domain.HOST, Domain.GPU, "near"),
+    )
+    assert batches > 0
+
+
+# ------------------------------------------------------- contended paths
+def _windowed_bidirectional(window, nbytes):
+    """Both PEs stream a window of non-blocking puts at each other —
+    the classic bandwidth loop the fast path must refuse (the ready
+    queue is never empty, so interleavings matter)."""
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(window * nbytes, domain=Domain.GPU)
+        src = ctx.cuda.malloc(window * nbytes)
+        src.fill(0x3C ^ ctx.pe, window * nbytes)
+        peer = (ctx.pe + 1) % ctx.npes
+        yield from ctx.barrier_all()
+        for i in range(window):
+            ctx.putmem_nbi(sym + i * nbytes, src + i * nbytes, nbytes, pe=peer)
+        yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        return (ctx.now, sym.read(window * nbytes))
+
+    return main
+
+
+def test_contended_window_identical_with_fast_path_enabled():
+    batches = _ab_run(
+        lambda: ShmemJob(nodes=2, design="enhanced-gdr"),
+        _windowed_bidirectional(window=8, nbytes=1 * MiB),
+    )
+    # Concurrency means the sim is never quiescent at dispatch: the
+    # fast path must decline every one of these pipelines.
+    assert batches == 0
+
+
+def test_put_with_waiting_target_identical():
+    """Target blocked in wait_until during the put: the fast path must
+    reproduce the per-chunk watcher wake-ups exactly."""
+
+    def main(ctx):
+        data = yield from ctx.shmalloc(2 * MiB, domain=Domain.GPU)
+        flag = yield from ctx.shmalloc(8, domain=Domain.HOST)
+        src = ctx.cuda.malloc(2 * MiB)
+        src.fill(0x7E, 2 * MiB)
+        tgt = ctx.npes - 1  # inter-node, so the put takes the pipeline
+        yield from ctx.barrier_all()
+        out = ctx.now
+        if ctx.pe == 0:
+            yield from ctx.putmem(data, src, 2 * MiB, pe=tgt)
+            yield from ctx.quiet()
+            yield from ctx.putmem(flag, src, 8, pe=tgt)
+            yield from ctx.quiet()
+        elif ctx.pe == tgt:
+            yield from ctx.wait_until(flag, "!=", 0)
+            out = (ctx.now, data.read(2 * MiB))
+        yield from ctx.barrier_all()
+        return out
+
+    _ab_run(lambda: ShmemJob(nodes=2, design="enhanced-gdr"), main)
+
+
+# ------------------------------------------------------- golden timings
+GOLDEN = {
+    ("enhanced-gdr", "put"): 0.0038866478717841137,
+    ("enhanced-gdr", "get"): 0.0040064978717841175,
+    ("host-pipeline", "put"): 0.004699186025149559,
+    ("host-pipeline", "get"): 0.009366731990143243,
+}
+GOLDEN_SIZES = [16 * KiB << i for i in range(9)]  # 16 KiB .. 4 MiB
+
+
+@pytest.mark.parametrize("design,op", sorted(GOLDEN))
+def test_fig8_golden_end_times(design, op):
+    """Pin the Fig 8 D-D sweep end times to the values the archived
+    ``benchmarks/results`` were generated with (exact float equality)."""
+    job = ShmemJob(
+        nodes=2, pes_per_node=1, design=design,
+        host_heap_size=32 * MiB, gpu_heap_size=32 * MiB,
+    )
+    job.run(lat._sweep_program(op, GOLDEN_SIZES, Domain.GPU, Domain.GPU, "far"))
+    assert job.sim.now == GOLDEN[(design, op)]
+
+
+# ----------------------------------------------------------- satellites
+def test_chunked_rejects_negative_nbytes():
+    with pytest.raises(ConfigurationError):
+        chunked(-1, 1 * MiB)
+
+
+def test_chunked_zero_is_empty():
+    assert list(chunked(0, 1 * MiB)) == []
