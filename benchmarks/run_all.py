@@ -4,6 +4,15 @@
 Usage:
     PYTHONPATH=src python benchmarks/run_all.py [--smoke] [--jobs N]
         [--verbose] [--output BENCH_PR1.json] [--no-tier1] [--fresh]
+        [--faults off]
+
+``--faults off`` additionally runs the reliability-subsystem zero-cost
+probe: the Fig 8 D-D put sweep with *no* fault plan attached must hit
+the golden simulated end time exactly (bit-identical to the pre-faults
+tree), and its wall-clock must be within 1% of the same sweep with the
+RC dispatch wrapper bypassed (interleaved min-of-N).  The result lands
+in the report under ``faults_off_baseline`` (written to BENCH_PR2.json
+by default in this mode).
 
 The sweep runs each experiment in :mod:`repro.reporting.experiments`
 (in parallel across a process pool, memoized under
@@ -40,6 +49,59 @@ TIER1_BASELINE_SECONDS = 20.6
 SMOKE_TARGETS = ["table2", "fig6b", "fig8b", "fig8d", "fig9b", "fig10"]
 
 
+#: Golden Fig 8 enhanced-gdr D-D put end time (tests/test_fastpath.py).
+FIG8_PUT_GOLDEN = 0.0038866478717841137
+
+
+def faults_off_baseline(repeats: int = 7) -> dict:
+    """Prove the reliability subsystem costs nothing when unused.
+
+    Runs the Fig 8 D-D put sweep ``repeats`` times stock and ``repeats``
+    times with ``Verbs._execute`` monkeypatched back to the pre-faults
+    direct ``spec.execute`` call, interleaved so thermal/cache drift
+    hits both sides equally.  Simulated time must equal the golden
+    constant in *both* configurations (zero simulated-time overhead);
+    wall-clock overhead is min-of-N stock over min-of-N bypassed.
+    """
+    import repro.bench.latency as lat
+    from repro.shmem import Domain, ShmemJob
+    from repro.units import KiB, MiB
+
+    sizes = [16 * KiB << i for i in range(9)]
+
+    def run(bypass_rc_dispatch: bool):
+        job = ShmemJob(
+            nodes=2, pes_per_node=1, design="enhanced-gdr",
+            host_heap_size=32 * MiB, gpu_heap_size=32 * MiB,
+        )
+        if bypass_rc_dispatch:
+            job.verbs._execute = lambda spec, hca=None: spec.execute(job.sim)
+        program = lat._sweep_program("put", sizes, Domain.GPU, Domain.GPU, "far")
+        t0 = time.perf_counter()
+        job.run(program)
+        return job.sim.now, time.perf_counter() - t0
+
+    stock, bypassed = [], []
+    for _ in range(repeats):
+        now, wall = run(False)
+        assert now == FIG8_PUT_GOLDEN, f"simulated time drifted: {now!r}"
+        stock.append(wall)
+        now, wall = run(True)
+        assert now == FIG8_PUT_GOLDEN, f"bypassed run drifted: {now!r}"
+        bypassed.append(wall)
+    overhead = min(stock) / min(bypassed) - 1.0
+    return {
+        "sweep": "fig8 enhanced-gdr put D-D far (9 sizes, 16 KiB..4 MiB)",
+        "repeats": repeats,
+        "simulated_end_time": FIG8_PUT_GOLDEN,
+        "simulated_time_overhead": 0.0,  # exact float equality asserted above
+        "stock_wall_min_seconds": min(stock),
+        "bypassed_wall_min_seconds": min(bypassed),
+        "wall_overhead_fraction": overhead,
+        "within_one_percent": overhead < 0.01,
+    }
+
+
 def time_tier1() -> float:
     t0 = time.perf_counter()
     proc = subprocess.run(
@@ -64,13 +126,18 @@ def main(argv=None) -> int:
                     help="process-pool size (default: CPU count)")
     ap.add_argument("--verbose", action="store_true",
                     help="report cache hits/misses and pool size per target")
-    ap.add_argument("--output", default=str(REPO / "BENCH_PR1.json"),
-                    help="where to write the JSON report")
+    ap.add_argument("--output", default=None,
+                    help="where to write the JSON report "
+                         "(default: BENCH_PR1.json, or BENCH_PR2.json with --faults)")
     ap.add_argument("--no-tier1", action="store_true",
                     help="skip timing the tier-1 pytest suite")
     ap.add_argument("--fresh", action="store_true",
                     help="drop the on-disk cache before running")
+    ap.add_argument("--faults", choices=["off"], default=None,
+                    help="'off': also run the no-fault-plan zero-overhead probe")
     args = ap.parse_args(argv)
+    if args.output is None:
+        args.output = str(REPO / ("BENCH_PR2.json" if args.faults else "BENCH_PR1.json"))
 
     cache_dir = REPO / "benchmarks" / ".bench_cache"
     if args.fresh and cache_dir.exists():
@@ -85,6 +152,9 @@ def main(argv=None) -> int:
     doc = report.as_dict()
     doc["sweep_wall_seconds"] = sweep_wall
     totals = doc["engine_totals"]
+
+    if args.faults == "off":
+        doc["faults_off_baseline"] = faults_off_baseline()
 
     if not (args.no_tier1 or args.smoke):
         tier1 = time_tier1()
@@ -106,6 +176,13 @@ def main(argv=None) -> int:
         f"{totals.get('fastpath_batches', 0)} batched pipelines "
         f"(~{totals.get('fastpath_events_saved', 0)} events elided)"
     )
+    if "faults_off_baseline" in doc:
+        fb = doc["faults_off_baseline"]
+        print(
+            f"faults-off probe: simulated time golden-exact, wall overhead "
+            f"{fb['wall_overhead_fraction'] * 100:+.2f}% "
+            f"({'within' if fb['within_one_percent'] else 'OVER'} the 1% budget)"
+        )
     if "tier1" in doc:
         t1 = doc["tier1"]
         print(

@@ -23,6 +23,39 @@ class RegistrationError(IBError):
     """Memory-registration failures (unpinned range, exhausted cache)."""
 
 
+class CompletionError(IBError):
+    """A work request completed in error (typed CQE status).
+
+    ``status`` carries the IB completion status string so CQ consumers
+    can switch on it exactly like ``ibv_wc.status``.
+    """
+
+    status = "ERROR"
+
+    def __init__(self, message: str = "", *, status: str = None):
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+
+
+class RetryExceeded(CompletionError):
+    """IB RC retransmission gave up: ``retry_cnt`` attempts exhausted.
+
+    The reliable transport (:mod:`repro.ib.rc`) raises this instead of
+    leaking the underlying :class:`LinkDown` mid-generator; a signaled
+    CQ surfaces it as a ``RETRY_EXC_ERR`` CQE.
+    """
+
+    status = "RETRY_EXC_ERR"
+
+    def __init__(self, message: str = "", *, attempts: int = 0, direction=None):
+        super().__init__(message)
+        self.attempts = attempts
+        #: The :class:`~repro.hardware.links.LinkDirection` that kept
+        #: failing, when known (drives the health tracker).
+        self.direction = direction
+
+
 class ShmemError(ReproError):
     """OpenSHMEM semantic violations (bad PE, non-symmetric address...)."""
 
@@ -32,4 +65,13 @@ class HeapExhausted(ShmemError):
 
 
 class LinkDown(ReproError):
-    """Raised into transfers when failure injection downs a link."""
+    """Raised into transfers when failure injection downs a link.
+
+    ``direction`` (optional) is the failed
+    :class:`~repro.hardware.links.LinkDirection`, so retry/health layers
+    can attribute the fault to a path without string parsing.
+    """
+
+    def __init__(self, message: str = "", direction=None):
+        super().__init__(message)
+        self.direction = direction

@@ -1,0 +1,129 @@
+"""Per-path health tracking: HEALTHY -> DEGRADED -> PROBING -> HEALTHY.
+
+The tracker observes retry/failure/success events from the reliable
+transport (:mod:`repro.ib.rc`) and answers one question for the
+protocol selector: *is this link direction currently trustworthy?*
+
+State machine per path (keyed by ``LinkDirection.name``):
+
+``HEALTHY``
+    Default.  ``record_retry`` accumulates a consecutive-bad counter;
+    reaching ``fail_threshold`` (or any ``record_failure``, i.e. a
+    ``RETRY_EXC_ERR``) degrades the path.
+``DEGRADED``
+    ``healthy()`` answers False until ``cooldown`` seconds have
+    elapsed, steering the runtime onto a fallback protocol.
+``PROBING``
+    After the cooldown one caller is allowed back on the path.  A
+    clean completion (``record_success``) restores ``HEALTHY``; any
+    retry while probing degrades again immediately.
+
+Time spent DEGRADED/PROBING is accumulated into
+``sim.stats.degraded_time`` so reports can show time-in-degraded-mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+HEALTHY = "HEALTHY"
+DEGRADED = "DEGRADED"
+PROBING = "PROBING"
+
+
+class PathHealth:
+    """Mutable health record for one link direction."""
+
+    __slots__ = ("name", "state", "bad", "degraded_until", "entered", "degraded_time")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.state = HEALTHY
+        #: Consecutive retries observed without an intervening success.
+        self.bad = 0
+        #: Simulated instant the current cooldown expires.
+        self.degraded_until = 0.0
+        #: Instant the path left HEALTHY (for degraded-time accounting).
+        self.entered = 0.0
+        #: Total simulated seconds this path has spent not-HEALTHY.
+        self.degraded_time = 0.0
+
+
+class HealthTracker:
+    """Job-wide registry of :class:`PathHealth` records."""
+
+    def __init__(self, sim, fail_threshold: int, cooldown: float):
+        self.sim = sim
+        self.fail_threshold = fail_threshold
+        self.cooldown = cooldown
+        self.paths: Dict[str, PathHealth] = {}
+
+    def _path(self, name: str) -> PathHealth:
+        p = self.paths.get(name)
+        if p is None:
+            p = self.paths[name] = PathHealth(name)
+        return p
+
+    def _degrade(self, p: PathHealth, now: float) -> None:
+        if p.state == HEALTHY:
+            p.entered = now
+        p.state = DEGRADED
+        p.degraded_until = now + self.cooldown
+        p.bad = 0
+
+    def record_retry(self, name: str, now: float) -> None:
+        p = self._path(name)
+        if p.state == PROBING:
+            # The probe failed: straight back to DEGRADED.
+            self._degrade(p, now)
+            return
+        p.bad += 1
+        if p.state == HEALTHY and p.bad >= self.fail_threshold:
+            self._degrade(p, now)
+
+    def record_failure(self, name: str, now: float) -> None:
+        """A hard failure (retries exhausted) degrades unconditionally."""
+        self._degrade(self._path(name), now)
+
+    def record_success(self, name: str, now: float) -> None:
+        p = self.paths.get(name)
+        if p is None:
+            return
+        p.bad = 0
+        if p.state == PROBING:
+            p.state = HEALTHY
+            p.degraded_time += now - p.entered
+
+    def healthy(self, name: str, now: float) -> bool:
+        """Selector query: may traffic use this path right now?"""
+        p = self.paths.get(name)
+        if p is None or p.state == HEALTHY:
+            return True
+        if p.state == DEGRADED:
+            if now < p.degraded_until:
+                return False
+            # Cooldown elapsed: let one caller probe the path.
+            p.state = PROBING
+            return True
+        return True  # PROBING: the probe traffic itself
+
+    def finalize(self, now: float) -> None:
+        """Close open degraded spans at end of run (for reporting)."""
+        total = 0.0
+        for p in self.paths.values():
+            if p.state != HEALTHY:
+                p.degraded_time += now - p.entered
+                p.entered = now
+            total += p.degraded_time
+        self.sim.stats.degraded_time = total
+
+    def snapshot(self) -> List[dict]:
+        """Reporting view: one row per tracked path."""
+        return [
+            {
+                "path": p.name,
+                "state": p.state,
+                "degraded_time": p.degraded_time,
+            }
+            for p in sorted(self.paths.values(), key=lambda p: p.name)
+        ]

@@ -35,10 +35,25 @@ class HCA:
         self.atomic_unit = Resource(sim, capacity=1, name=f"n{node_id}.hca{hca_id}.atomics")
         self.messages_tx = 0
         self.messages_rx = 0
+        #: Fault injection: until this instant the send queues are
+        #: draining a stall (firmware hiccup / PCIe backpressure); new
+        #: work through the reliable transport waits it out.
+        self.stalled_until = 0.0
+        self.stalls_injected = 0
 
     @property
     def name(self) -> str:
         return f"n{self.node_id}.hca{self.hca_id}"
+
+    def stall(self, now: float, duration: float) -> None:
+        """Fault injection: freeze queue processing for ``duration``."""
+        self.stalled_until = max(self.stalled_until, now + duration)
+        self.stalls_injected += 1
+
+    def stall_remaining(self, now: float) -> float:
+        """Seconds of injected stall still ahead of ``now`` (0 if none)."""
+        remaining = self.stalled_until - now
+        return remaining if remaining > 0.0 else 0.0
 
     def count_tx(self) -> None:
         self.messages_tx += 1

@@ -16,16 +16,46 @@ injection and tracing hook in here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, LinkDown
 from repro.simulator import Resource, Simulator
 
 
 class LinkDirection:
-    """One direction of a duplex link."""
+    """One direction of a duplex link.
 
-    __slots__ = ("link", "tag", "resource", "bytes_moved", "transfers", "_down")
+    Failure injection supports two scopes:
+
+    * ``fail()`` downs the direction for *all* traffic — the physical
+      wire is dead;
+    * ``fail(label="gdrP2P")`` blocks only transfers whose spec label
+      starts with the given prefix.  This models faults that kill one
+      *access path* over a shared physical link: e.g. the HCA's PCIe
+      peer-to-peer/BAR window into a GPU can wedge (blocking
+      ``gdrP2Pread``/``gdrP2Pwrite``) while the GPU's own DMA engines
+      keep serving ``cudaMemcpy`` traffic over the same slot — exactly
+      the situation where the runtime should fail over to the
+      host-staged pipeline.
+
+    Every ``fail()`` is also appended to a per-direction *failure log*;
+    an in-flight transfer records the log position when it acquires the
+    wire and re-checks it when its hold ends, so a failure window that
+    overlaps the transfer loses the payload even if ``repair()`` ran
+    before the completion instant (a repaired link does not resurrect
+    bits that were on the wire when it dropped).
+    """
+
+    __slots__ = (
+        "link",
+        "tag",
+        "resource",
+        "bytes_moved",
+        "transfers",
+        "_down",
+        "_blocked",
+        "_fail_log",
+    )
 
     def __init__(self, link: "Link", tag: str, capacity: int):
         self.link = link
@@ -34,6 +64,11 @@ class LinkDirection:
         self.bytes_moved = 0
         self.transfers = 0
         self._down = False
+        #: label-prefix -> active fail count (overlapping windows nest).
+        self._blocked: dict = {}
+        #: Every fail() appends its label (None = whole direction); see
+        #: :meth:`TransferSpec.execute` for the mid-flight check.
+        self._fail_log: List[Optional[str]] = []
 
     @property
     def name(self) -> str:
@@ -43,18 +78,69 @@ class LinkDirection:
     def is_down(self) -> bool:
         return self._down
 
-    def fail(self) -> None:
-        """Failure injection: subsequent transfers raise :class:`LinkDown`."""
-        self._down = True
+    def fail(self, label: Optional[str] = None) -> None:
+        """Failure injection: matching transfers raise :class:`LinkDown`.
 
-    def repair(self) -> None:
-        self._down = False
+        ``label`` restricts the failure to transfers whose spec label
+        starts with that prefix; ``None`` downs the direction entirely.
+        """
+        if label is None:
+            self._down = True
+        else:
+            self._blocked[label] = self._blocked.get(label, 0) + 1
+        self._fail_log.append(label)
+
+    def repair(self, label: Optional[str] = None) -> None:
+        """Undo a :meth:`fail` of the same scope.
+
+        Repairing only re-opens the direction for *new* transfers; a
+        transfer that was in flight when the failure hit still observes
+        it at the end of its hold (see the failure log above).
+        """
+        if label is None:
+            self._down = False
+            self._blocked.clear()
+            return
+        n = self._blocked.get(label, 0) - 1
+        if n > 0:
+            self._blocked[label] = n
+        else:
+            self._blocked.pop(label, None)
+
+    def blocks(self, label: str) -> bool:
+        """Would a transfer labelled ``label`` be refused right now?"""
+        if self._down:
+            return True
+        if self._blocked:
+            for prefix in self._blocked:
+                if label.startswith(prefix):
+                    return True
+        return False
+
+    def failed_since(self, mark: int, label: str) -> bool:
+        """Did a failure applying to ``label`` occur after log position
+        ``mark``?  (True even if the direction has been repaired.)"""
+        for prefix in self._fail_log[mark:]:
+            if prefix is None or label.startswith(prefix):
+                return True
+        return False
+
+    @property
+    def fail_mark(self) -> int:
+        """Current failure-log position (pass to :meth:`failed_since`)."""
+        return len(self._fail_log)
 
     @property
     def idle(self) -> bool:
-        """Up, unoccupied, and nobody queued — a batched fast path may
-        claim this direction without perturbing any FIFO ordering."""
-        return not self._down and self.resource.count == 0 and self.resource.queued == 0
+        """Up (for every label), unoccupied, and nobody queued — a
+        batched fast path may claim this direction without perturbing
+        any FIFO ordering."""
+        return (
+            not self._down
+            and not self._blocked
+            and self.resource.count == 0
+            and self.resource.queued == 0
+        )
 
 
 class Link:
@@ -98,20 +184,37 @@ class TransferSpec:
     setup: float = 0.0
     #: Human-readable protocol tag, surfaced in traces and tests.
     label: str = "transfer"
+    #: Per-direction labels preserved across :meth:`extend` merges, so a
+    #: label-scoped failure (e.g. ``"gdrP2P"``) still matches the GDR
+    #: leg of a composite path relabelled ``"rdma_write"``.
+    leg_labels: Dict[int, str] = field(default_factory=dict)
 
     def add(self, direction: LinkDirection, latency: float, bandwidth: float) -> "TransferSpec":
         self.segments.append((direction, latency, bandwidth))
         return self
 
     def extend(self, other: "TransferSpec") -> "TransferSpec":
-        """Concatenate another spec's hops (and setup) onto this one."""
+        """Concatenate another spec's hops (and setup) onto this one.
+
+        Each side's directions remember the label they were built under
+        (first label wins for a direction both sides cross)."""
         if other.nbytes != self.nbytes:
             raise ConfigurationError(
                 f"cannot merge specs of different sizes ({self.nbytes} vs {other.nbytes})"
             )
+        for d, _lat, _bw in self.segments:
+            self.leg_labels.setdefault(id(d), self.label)
+        for key, lbl in other.leg_labels.items():
+            self.leg_labels.setdefault(key, lbl)
+        for d, _lat, _bw in other.segments:
+            self.leg_labels.setdefault(id(d), other.label)
         self.setup += other.setup
         self.segments.extend(other.segments)
         return self
+
+    def leg_label(self, direction: LinkDirection) -> str:
+        """The label failure scoping applies to ``direction``."""
+        return self.leg_labels.get(id(direction), self.label) if self.leg_labels else self.label
 
     def bottleneck_bandwidth(self) -> float:
         """Slowest hop's bandwidth (0.0 when every hop is latency-only)."""
@@ -167,6 +270,14 @@ class TransferSpec:
         All hop directions are acquired in a global deterministic order
         (no deadlock between overlapping paths), held for the pipelined
         duration, then released together.
+
+        Failure semantics: a transfer raises :class:`LinkDown` when a
+        matching failure is active at request or grant time, **and**
+        when a failure window overlapped its hold — even if the link was
+        repaired before the completion instant, the bytes that were in
+        flight are lost (time was charged; the payload was not
+        delivered).  The retry layer re-executes the spec, re-pricing
+        the wire crossing.
         """
         if self.setup:
             yield sim.timeout(self.setup, name=f"{self.label}:setup")
@@ -174,14 +285,21 @@ class TransferSpec:
         granted = []
         try:
             for d in directions:
-                if d.is_down:
-                    raise LinkDown(f"link direction {d.name} is down")
+                if d.blocks(self.leg_label(d)):
+                    raise LinkDown(f"link direction {d.name} is down", direction=d)
                 req = d.resource.request()
                 yield req
                 granted.append((d, req))
-                if d.is_down:
-                    raise LinkDown(f"link direction {d.name} went down")
+                if d.blocks(self.leg_label(d)):
+                    raise LinkDown(f"link direction {d.name} went down", direction=d)
+            marks = [(d, d.fail_mark) for d in directions]
             yield sim.timeout(self.duration(), name=self.label)
+            for d, mark in marks:
+                if d.failed_since(mark, self.leg_label(d)):
+                    raise LinkDown(
+                        f"link direction {d.name} failed mid-transfer; payload lost",
+                        direction=d,
+                    )
             for d in directions:
                 d.bytes_moved += self.nbytes
                 d.transfers += 1

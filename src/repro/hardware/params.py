@@ -125,6 +125,23 @@ class HardwareParams:
     #: prevented the paper's large-input LBM runs).  K20 BAR1 = 256 MB.
     gpu_max_registered: int = 256 * 1024 * 1024
 
+    # ------------------------------------------------- reliability (IB RC)
+    #: Max RC retransmission attempts before RETRY_EXC_ERR — the QP's
+    #: 3-bit ``retry_cnt`` field (7 = IB maximum).  Only exercised when
+    #: a fault plan is attached; see :mod:`repro.ib.rc`.
+    rc_retry_cnt: int = 7
+    #: Base retransmission timeout (the QP local-ack-timeout analogue;
+    #: real HCAs use 4.096 µs * 2^timeout — we keep it direct).
+    rc_timeout: float = usec(40.0)
+    #: Exponential backoff multiplier applied per successive retry.
+    rc_backoff: float = 2.0
+    #: Health tracker: consecutive observed retries on one path before
+    #: it is marked DEGRADED and protocol selection fails over.
+    health_fail_threshold: int = 2
+    #: How long a DEGRADED path is avoided before a probe is allowed
+    #: back onto it (returns to HEALTHY on a clean probe).
+    health_cooldown: float = usec(300.0)
+
     # ------------------------------------------------------ protocol thresholds
     #: Direct-GDR cutover for operations whose network leg *writes* GPU memory.
     gdr_put_threshold: int = 32 * 1024
@@ -147,6 +164,8 @@ class HardwareParams:
                 raise ConfigurationError(f"{f.name} must be non-negative, got {value}")
         if self.pipeline_chunk <= 0 or self.pipeline_depth <= 0:
             raise ConfigurationError("pipeline_chunk and pipeline_depth must be positive")
+        if self.rc_backoff < 1.0:
+            raise ConfigurationError("rc_backoff must be >= 1 (delays may not shrink)")
         if self.p2p_read_bw_inter_socket > self.p2p_read_bw_intra_socket:
             raise ConfigurationError("inter-socket P2P read cannot beat intra-socket")
         if self.gdr_get_threshold > self.gdr_put_threshold:

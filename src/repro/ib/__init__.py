@@ -14,12 +14,14 @@ timed PCIe + fabric hops, honouring the GPUDirect-RDMA rules:
 
 from repro.ib.cq import CompletionQueue, WorkCompletion, post_signaled
 from repro.ib.mr import MemoryRegion, RegistrationCache
+from repro.ib.rc import RCTransport
 from repro.ib.verbs import Endpoint, Verbs
 
 __all__ = [
     "CompletionQueue",
     "Endpoint",
     "MemoryRegion",
+    "RCTransport",
     "RegistrationCache",
     "Verbs",
     "WorkCompletion",

@@ -15,7 +15,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
-from repro.errors import IBError
+from repro.errors import CompletionError, IBError
 from repro.simulator import Event, Simulator, Store
 
 _wrid_counter = itertools.count(1)
@@ -107,8 +107,27 @@ def post_signaled(
         try:
             result = yield from gen
         except BaseException as exc:
+            status = getattr(exc, "status", "ERROR")
             cq._deposit(
-                WorkCompletion(wr_id, opcode, "ERROR", nbytes, sim.now, error=exc)
+                WorkCompletion(wr_id, opcode, status, nbytes, sim.now, error=exc)
+            )
+            return
+        faults = getattr(verbs, "faults", None)
+        if faults is not None and faults.take_cq_error(sim.now):
+            # Injected completion-error burst: the op's data moved, but
+            # the CQE comes back flushed (reporting corrupted) — what a
+            # transient firmware error burst looks like to the poller.
+            cq._deposit(
+                WorkCompletion(
+                    wr_id,
+                    opcode,
+                    "WR_FLUSH_ERR",
+                    nbytes,
+                    sim.now,
+                    error=CompletionError(
+                        "injected completion error", status="WR_FLUSH_ERR"
+                    ),
+                )
             )
             return
         value = result if isinstance(result, int) and opcode.startswith(("FETCH", "CMP", "SWAP")) else None

@@ -74,6 +74,28 @@ class Verbs:
         self.hw = hw
         self.sim: Simulator = hw.sim
         self.params = hw.params
+        #: Reliable transport (:class:`repro.ib.rc.RCTransport`), set by
+        #: the fault injector.  ``None`` means the plain single-attempt
+        #: path — zero extra events, bit-identical to the pre-reliability
+        #: engine.
+        self.rc = None
+        #: The attached :class:`repro.faults.FaultInjector`, if any
+        #: (consulted by the CQ layer for completion-error bursts).
+        self.faults = None
+
+    def _execute(self, spec: TransferSpec, hca=None) -> Generator:
+        """Run a transfer spec, through the RC retry loop when one is
+        attached.  Every timed wire/PCIe crossing in this module funnels
+        through here, so attaching ``rc`` retrofits retransmission onto
+        all verbs without touching the per-op generators.
+
+        A plain dispatcher (not a generator itself): it hands back the
+        underlying generator so the no-plan path adds no delegation
+        frame to every yield — measured at >1% wall-clock otherwise.
+        """
+        if self.rc is None:
+            return spec.execute(self.sim)
+        return self.rc.execute(spec, hca)
 
     # ------------------------------------------------------------ endpoints
     def endpoint(self, node_id: int, hca_id: int, owner: int) -> Endpoint:
@@ -168,7 +190,7 @@ class Verbs:
 
         ep.hca.count_tx()
         path, dst_hca = self.write_path(ep, local, remote_mr, nbytes, remote_hca)
-        yield from path.execute(sim)
+        yield from self._execute(path, ep.hca)
         dst_hca.count_rx()
 
         dst_ptr.write(payload)
@@ -200,7 +222,7 @@ class Verbs:
         # Request travels to the remote HCA (tiny, latency only).
         src_node_id, src_hca_id = self._remote_endpoint_hca(remote_mr, remote_hca)
         src_hca = self.hw.nodes[src_node_id].hcas[src_hca_id]
-        yield from self.hw.fabric.wire(ep.hca, src_hca, 0).execute(sim)
+        yield from self._execute(self.hw.fabric.wire(ep.hca, src_hca, 0), ep.hca)
         yield sim.timeout(p.hca_rx_overhead)
 
         # Response: remote fetch (GDR P2P *read* when on GPU) streams
@@ -216,7 +238,7 @@ class Verbs:
         path.extend(self._local_leg(ep, local, nbytes, read=False))
         path.setup += p.hca_tx_overhead + p.hca_rx_overhead
         path.label = "rdma_read"
-        yield from path.execute(sim)
+        yield from self._execute(path, src_hca)
         ep.hca.count_rx()
         local.write(payload)
         return nbytes
@@ -235,7 +257,7 @@ class Verbs:
         path.extend(dst.node.pcie.hca_host_leg(dst.hca_id, nbytes, to_host=True))
         path.setup += p.hca_tx_overhead + p.hca_rx_overhead
         path.label = "ib_send"
-        yield from path.execute(sim)
+        yield from self._execute(path, ep.hca)
         dst.hca.count_rx()
         dst._recv_queue.put((ep.owner, payload))
         return nbytes
@@ -250,7 +272,7 @@ class Verbs:
         ep.hca.count_tx()
         dst_node_id, dst_hca_id = self._remote_endpoint_hca(remote_mr, remote_hca)
         dst_hca = self.hw.nodes[dst_node_id].hcas[dst_hca_id]
-        yield from self.hw.fabric.wire(ep.hca, dst_hca, 8).execute(sim)
+        yield from self._execute(self.hw.fabric.wire(ep.hca, dst_hca, 8), ep.hca)
         yield sim.timeout(p.hca_rx_overhead)
         dst_hca.count_rx()
         return dst_node_id, dst_hca_id
@@ -295,7 +317,7 @@ class Verbs:
             dst_hca.atomic_unit.release(req)
 
         # Response (old value) returns to the source.
-        yield from self.hw.fabric.wire(dst_hca, ep.hca, 8).execute(sim)
+        yield from self._execute(self.hw.fabric.wire(dst_hca, ep.hca, 8), dst_hca)
         yield sim.timeout(p.hca_rx_overhead)
         ep.hca.count_rx()
         return old

@@ -2,5 +2,15 @@
 
 from repro.reporting.format import format_series, format_table
 from repro.reporting.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.reporting.timeline import breakdown_table, reliability_report, utilization_table
 
-__all__ = ["EXPERIMENTS", "Experiment", "format_series", "format_table", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "breakdown_table",
+    "format_series",
+    "format_table",
+    "reliability_report",
+    "run_experiment",
+    "utilization_table",
+]

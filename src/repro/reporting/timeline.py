@@ -38,6 +38,8 @@ CATEGORIES = (
     ("mpi:", "mpi"),
     ("atomic", "atomics"),
     ("init:", "init"),
+    ("rc:", "reliability"),
+    ("flap:", "faults"),
 )
 
 
@@ -109,3 +111,46 @@ def breakdown_table(trace: Trace) -> str:
         [e.row() for e in event_breakdown(trace)],
         title="Fired-event breakdown",
     )
+
+
+def reliability_report(job) -> str:
+    """Fault/reliability summary for a job run under a
+    :class:`~repro.faults.FaultPlan`: the aggregate counters, the
+    per-path health outcome, and the chronological fault timeline.
+    Returns an empty string when no plan was attached (nothing to say).
+    """
+    if getattr(job, "faults", None) is None:
+        return ""
+    stats = job.sim.stats
+    counters = format_table(
+        ["counter", "value"],
+        [
+            ["flap windows", str(stats.flap_windows)],
+            ["rc retries", str(stats.retries)],
+            ["failovers", str(stats.failovers)],
+            ["hca stalls", str(stats.hca_stalls)],
+            ["cq errors", str(stats.cq_errors)],
+            ["degraded time (s)", f"{stats.degraded_time:.6g}"],
+        ],
+        title="Reliability counters",
+    )
+    health = format_table(
+        ["path", "final state", "degraded (s)"],
+        [
+            [p["path"], p["state"], f"{p['degraded_time']:.6g}"]
+            for p in job.runtime.health.snapshot()
+        ],
+        title="Path health",
+    )
+    rc = job.verbs.rc
+    retries = format_table(
+        ["path", "retries"],
+        [[name, str(n)] for name, n in sorted(rc.retries_by_path.items())],
+        title="RC retransmissions by path",
+    )
+    timeline = format_table(
+        ["t (s)", "fault"],
+        [[f"{t:.6f}", desc] for t, desc in job.faults.log],
+        title="Fault timeline",
+    )
+    return "\n\n".join(part for part in (counters, health, retries, timeline) if part)

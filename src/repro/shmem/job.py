@@ -59,6 +59,7 @@ class ShmemJob:
         host_heap_size: int = 32 * MiB,
         gpu_heap_size: int = 32 * MiB,
         service_thread: bool = False,
+        fault_plan=None,
     ):
         self.params = params if params is not None else wilkes_params()
         self.design = design
@@ -80,6 +81,10 @@ class ShmemJob:
         self.runtime = Runtime(self, design, service_thread=service_thread)
         self._mpi = None
         self._ran = False
+        #: Live fault injector when a FaultPlan is attached (else None).
+        self.faults = None
+        if fault_plan is not None:
+            fault_plan.attach(self)
 
     @property
     def mpi(self):
@@ -123,6 +128,8 @@ class ShmemJob:
         ]
         self.sim.run(until=until)
         self.sim.flush_stats()  # fold engine counters into the global tally
+        if self.runtime.health is not None:
+            self.runtime.health.finalize(self.sim.now)
         stuck = [i for i, p in enumerate(procs) if not p.triggered]
         if stuck:
             raise ShmemError(

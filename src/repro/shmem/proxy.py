@@ -123,7 +123,11 @@ class ProxyDaemon:
         if self.cuda is None:
             raise ShmemError(f"proxy on GPU-less node {self.node_id} asked to do an H2D copy")
         try:
-            yield from self.cuda.memcpy(req.dst_ptr, req.slot.ptr, req.nbytes)
+            # Idempotent retry: the staged chunk stays in the slot until
+            # the H2D copy lands, so replays rewrite the same range.
+            yield from self.runtime.reliable_memcpy(
+                self.cuda, req.dst_ptr, req.slot.ptr, req.nbytes
+            )
         finally:
             self.staging.release(req.slot)
         self.runtime._notify(req.target_pe)
@@ -142,8 +146,11 @@ class ProxyDaemon:
         offset = 0
         for csize in chunked(req.nbytes, self.params.pipeline_chunk):
             slot = yield from self.staging.acquire()
-            # IPC read of the owning PE's GPU heap into proxy staging.
-            yield from self.cuda.memcpy(slot.ptr, req.src_ptr + offset, csize)
+            # IPC read of the owning PE's GPU heap into proxy staging
+            # (retried idempotently under an active fault plan).
+            yield from self.runtime.reliable_memcpy(
+                self.cuda, slot.ptr, req.src_ptr + offset, csize
+            )
             ev = self.sim.event("proxy-get:chunk")
             ev.defuse()  # observed via the all_of below, never raw
             handler = (
@@ -164,7 +171,7 @@ class ProxyDaemon:
         requester is the only observer and wakes at the final ack).
         Returns the event the proxy loop resumes on, or ``None``."""
         sim = self.sim
-        if not (sim.fastpath and sim.trace is None and sim.quiescent()):
+        if not (sim.fastpath and not sim.faults_active and sim.trace is None and sim.quiescent()):
             return None
         pool = self.staging
         if not pool.idle:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.cuda.memory import MemKind, Ptr
-from repro.errors import ShmemError
+from repro.errors import CompletionError, LinkDown, ShmemError
 from repro.hardware.links import chunked
 from repro.ib.mr import MemoryRegion
 from repro.ib.verbs import Endpoint, Verbs
@@ -86,6 +86,10 @@ class Runtime:
         self.protocol_counts: Dict[Protocol, int] = {}
         #: On-the-fly registrations of user (non-heap) buffers.
         self._mr_cache: Dict[int, MemoryRegion] = {}
+        #: Armed by :class:`repro.faults.FaultInjector`; ``None`` in a
+        #: fault-free job (and every fault code path below is skipped).
+        self.health = None
+        self.faults = None
 
         self._build_heaps()
         self._build_endpoints_and_staging()
@@ -286,6 +290,127 @@ class Runtime:
 
         proc.callbacks.append(relay)
 
+    # ================================================ health-aware failover
+    def _gpu_link(self, pe: int):
+        """The PCIe link of PE ``pe``'s GPU (``None`` for host-only PEs)."""
+        try:
+            node_id, _ = self.hw.pe_location(pe)
+            gpu = self.hw.pe_gpu(pe)
+        except Exception:
+            return None
+        return self.hw.nodes[node_id].pcie.gpu_links[gpu]
+
+    def _route_gdr_legs(self, route: Route, ctx, pe: int):
+        """The (LinkDirection, label) GDR P2P crossings ``route`` needs.
+
+        Only GDR protocols expose legs here: those are the paths a
+        ``gdrP2P``-scoped fault downs and the health tracker steers
+        around.  Host-staged protocols use cudaMemcpy/hostDMA labels and
+        survive such faults by construction."""
+        legs = []
+        cfg = route.config
+        if route.protocol in (Protocol.DIRECT_GDR, Protocol.GDR_LOOPBACK):
+            if route.op is Op.PUT:
+                if cfg.local_on_device:
+                    link = self._gpu_link(ctx.pe)
+                    if link is not None:
+                        legs.append((link.rev, "gdrP2Pread"))
+                if cfg.remote_on_device:
+                    link = self._gpu_link(pe)
+                    if link is not None:
+                        legs.append((link.fwd, "gdrP2Pwrite"))
+            else:
+                if cfg.local_on_device:
+                    link = self._gpu_link(ctx.pe)
+                    if link is not None:
+                        legs.append((link.fwd, "gdrP2Pwrite"))
+                if cfg.remote_on_device:
+                    link = self._gpu_link(pe)
+                    if link is not None:
+                        legs.append((link.rev, "gdrP2Pread"))
+        elif route.protocol is Protocol.PIPELINE_GDR_WRITE:
+            if cfg.remote_on_device:
+                link = self._gpu_link(pe)
+                if link is not None:
+                    legs.append((link.fwd, "gdrP2Pwrite"))
+        return legs
+
+    def _leg_unhealthy(self, leg, label: str) -> bool:
+        return leg.blocks(label) or not self.health.healthy(leg.name, self.sim.now)
+
+    def _failover_route(self, route: Route) -> Optional[Route]:
+        """The next-best protocol when ``route``'s GDR path is unusable.
+
+        Mirrors the design's own degradation ladder: Direct GDR drops to
+        the host-staged pipeline (source staged through host memory),
+        the pipeline's target-side GDR write drops to the proxy (which
+        lands chunks with cudaMemcpy H2D), and loopback GDR drops to the
+        copy-based intra-node protocols."""
+        proto, op, cfg = route.protocol, route.op, route.config
+        fallback = why = None
+        if op is Op.PUT:
+            if proto is Protocol.DIRECT_GDR:
+                if cfg.local_on_device:
+                    fallback, why = Protocol.PIPELINE_GDR_WRITE, "stage source via host"
+                elif self.proxies:
+                    fallback, why = Protocol.PROXY, "land via target proxy"
+            elif proto is Protocol.PIPELINE_GDR_WRITE and self.proxies:
+                fallback, why = Protocol.PROXY, "land via target proxy"
+            elif proto is Protocol.GDR_LOOPBACK:
+                fallback = Protocol.SHM_DIRECT_COPY if cfg is Config.DH else Protocol.IPC_COPY
+                why = "copy-based loopback"
+        else:
+            if proto is Protocol.DIRECT_GDR and self.proxies:
+                fallback, why = Protocol.PROXY, "pipeline back via proxy"
+            elif proto is Protocol.GDR_LOOPBACK:
+                fallback = Protocol.SHM_DIRECT_COPY if cfg is Config.DH else Protocol.IPC_COPY
+                why = "copy-based loopback"
+        if fallback is None or fallback is proto:
+            return None
+        return Route(
+            fallback, op, cfg, route.locality, route.nbytes, f"health failover: {why}"
+        )
+
+    def _health_reroute(self, route: Route, ctx, pe: int) -> Route:
+        """Proactive failover: steer off down/degraded GDR paths before
+        posting.  Iterates because a fallback may share a bad leg (e.g.
+        Direct GDR -> pipeline both write the target GPU): the ladder is
+        short, four hops bound it."""
+        for _ in range(4):
+            legs = self._route_gdr_legs(route, ctx, pe)
+            if not legs or not any(self._leg_unhealthy(d, lbl) for d, lbl in legs):
+                return route
+            fallback = self._failover_route(route)
+            if fallback is None:
+                return route
+            self.sim.stats.failovers += 1
+            route = fallback
+        return route
+
+    def reliable_memcpy(self, cuda, dst, src, nbytes) -> Generator:
+        """cudaMemcpy with retry-on-failure when faults are active.
+
+        Staged chunks are replayed idempotently — each attempt re-reads
+        the source and rewrites the destination whole, so a transfer
+        that observed a link failure cannot leave a torn chunk."""
+        if self.health is None:
+            yield from cuda.memcpy(dst, src, nbytes)
+            return
+        p = self.params
+        attempt = 0
+        while True:
+            try:
+                yield from cuda.memcpy(dst, src, nbytes)
+                return
+            except LinkDown:
+                attempt += 1
+                self.sim.stats.retries += 1
+                if attempt > p.rc_retry_cnt:
+                    raise
+                yield self.sim.timeout(
+                    p.rc_timeout * p.rc_backoff ** (attempt - 1), name="rc:backoff"
+                )
+
     # ============================================================== put
     def putmem(self, ctx, dst: SymAddr, src: Ptr, nbytes: int, pe: int) -> Generator:
         """One-sided put; returns at local completion.  See module docs."""
@@ -301,6 +426,8 @@ class Runtime:
             Op.PUT, config, locality, nbytes,
             local_same_socket=local_ss, remote_same_socket=remote_ss,
         )
+        if self.health is not None:
+            route = self._health_reroute(route, ctx, pe)
         self._count(route)
         yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
         dst_ptr = self.resolve(dst, pe)
@@ -343,7 +470,7 @@ class Runtime:
         the event to yield on, or ``None`` to take the event path.
         """
         sim = self.sim
-        if not (sim.fastpath and sim.trace is None and sim.quiescent()):
+        if not (sim.fastpath and not sim.faults_active and sim.trace is None and sim.quiescent()):
             return None
         pool = self.staging[ctx.pe]
         if not pool.idle:
@@ -399,16 +526,42 @@ class Runtime:
         delivered = self.sim.event("put:delivered")
         delivered.callbacks.append(lambda _ev: self._notify(pe))
         remote_hca = ctx.endpoint.hca_id if loopback else None
-        proc = self.sim.process(
-            self.verbs.rdma_write(
-                ctx.endpoint, src, mr, dst.offset, nbytes,
-                remote_hca=remote_hca, delivered=delivered, posted=posted,
-            ),
-            name=f"pe{ctx.pe}:rdma-put",
+        gen = self.verbs.rdma_write(
+            ctx.endpoint, src, mr, dst.offset, nbytes,
+            remote_hca=remote_hca, delivered=delivered, posted=posted,
         )
+        if self.health is not None:
+            gen = self._rdma_put_failover(gen, ctx, route, src, dst, dst_ptr, nbytes, pe, posted)
+        proc = self.sim.process(gen, name=f"pe{ctx.pe}:rdma-put")
         ctx.track(proc)
         self._bridge_failure(proc, posted)
         yield posted
+
+    def _rdma_put_failover(
+        self, gen, ctx, route, src, dst, dst_ptr, nbytes, pe, posted
+    ) -> Generator:
+        """Reactive failover: an RDMA put that dies even after RC
+        retries is replayed whole over the next-best protocol.  The
+        replay is idempotent — it re-reads the source and rewrites the
+        full destination range, so a partially-delivered first attempt
+        cannot leave torn data."""
+        try:
+            result = yield from gen
+            return result
+        except (LinkDown, CompletionError):
+            fallback = self._failover_route(route)
+            if fallback is None or fallback.protocol is route.protocol:
+                raise
+            self.sim.stats.failovers += 1
+            # The first fallback may share the bad leg (pipeline still
+            # GDR-writes the target GPU): keep descending the ladder.
+            fallback = self._health_reroute(fallback, ctx, pe)
+            self._count(fallback)
+            if not posted.triggered:
+                posted.succeed()
+            handler = self._PUT_HANDLERS[fallback.protocol]
+            yield from handler(self, ctx, fallback, src, dst, dst_ptr, nbytes, pe)
+        return None
 
     def _put_gdr_loopback(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
         yield from self._put_rdma(ctx, route, src, dst, dst_ptr, nbytes, pe, loopback=True)
@@ -431,7 +584,7 @@ class Runtime:
         last_posted: Optional[Event] = None
         for csize in chunked(nbytes, self.params.pipeline_chunk):
             slot = yield from self.staging[ctx.pe].acquire()
-            yield from ctx.cuda.memcpy(slot.ptr, src + offset, csize)
+            yield from self.reliable_memcpy(ctx.cuda, slot.ptr, src + offset, csize)
             posted = self.sim.event("pgw:posted")
             proc = self.sim.process(
                 self._write_then_release(ctx, slot, mr, dst.offset + offset, csize, pe, posted),
@@ -446,12 +599,47 @@ class Runtime:
 
     def _write_then_release(self, ctx, slot, mr, offset, csize, pe, posted) -> Generator:
         try:
-            yield from self.verbs.rdma_write(
-                ctx.endpoint, slot.ptr, mr, offset, csize, posted=posted
-            )
+            try:
+                yield from self.verbs.rdma_write(
+                    ctx.endpoint, slot.ptr, mr, offset, csize, posted=posted
+                )
+            except (LinkDown, CompletionError):
+                target_node, _ = self.hw.pe_location(pe)
+                proxy = self.proxies.get(target_node) if self.health is not None else None
+                if proxy is None:
+                    raise
+                yield from self._chunk_failover(ctx, proxy, slot, mr, offset, csize, pe, posted)
         finally:
             self.staging[ctx.pe].release(slot)
         self._notify(pe)
+
+    def _chunk_failover(self, ctx, proxy, slot, mr, offset, csize, pe, posted) -> Generator:
+        """Re-deliver one staged pipeline chunk whose GDR write died:
+        host staging -> proxy staging (a pure host RDMA, no GDR legs)
+        -> proxy cudaMemcpy into the final buffer.  Idempotent — the
+        chunk stays in its source slot until re-delivered."""
+        from repro.shmem.proxy import ProxyRequest
+
+        self.sim.stats.failovers += 1
+        if not posted.triggered:
+            posted.succeed()
+        pslot = yield from proxy.staging.acquire()
+        yield from self.verbs.rdma_write(
+            ctx.endpoint, slot.ptr, proxy.staging.mr, pslot.offset, csize
+        )
+        yield self.sim.timeout(self.params.proxy_signal_overhead, name="proxy:signal")
+        done = self.sim.event("pgw-failover:done")
+        proxy.submit(
+            ProxyRequest(
+                kind="put_h2d",
+                slot=pslot,
+                dst_ptr=mr.ptr(offset),
+                nbytes=csize,
+                target_pe=pe,
+                done=done,
+            )
+        )
+        yield done
 
     def _fast_pipeline_put(self, ctx, src, dst, mr, nbytes, pe) -> Optional[Event]:
         """Closed-form replay of the Pipeline-GDR-write chunk machinery.
@@ -478,7 +666,7 @@ class Runtime:
         Returns the put-return event, or ``None`` to fall back.
         """
         sim = self.sim
-        if not (sim.fastpath and sim.trace is None and sim.quiescent()):
+        if not (sim.fastpath and not sim.faults_active and sim.trace is None and sim.quiescent()):
             return None
         pool = self.staging[ctx.pe]
         if not pool.idle:
@@ -694,12 +882,30 @@ class Runtime:
             Op.GET, config, locality, nbytes,
             local_same_socket=local_ss, remote_same_socket=remote_ss,
         )
+        if self.health is not None:
+            route = self._health_reroute(route, ctx, pe)
         self._count(route)
         yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
         src_ptr = self.resolve(src, pe)
         handler = self._GET_HANDLERS[route.protocol]
         t0 = self.sim.now
-        yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
+        if self.health is None:
+            yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
+        else:
+            try:
+                yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
+            except (LinkDown, CompletionError):
+                # Reactive failover: gets block, so the caller is still
+                # here — replay the whole range on the fallback path.
+                fallback = self._failover_route(route)
+                if fallback is None or fallback.protocol is route.protocol:
+                    raise
+                self.sim.stats.failovers += 1
+                fallback = self._health_reroute(fallback, ctx, pe)
+                self._count(fallback)
+                route = fallback
+                fb = self._GET_HANDLERS[fallback.protocol]
+                yield from fb(self, ctx, fallback, dst, src, src_ptr, nbytes, pe)
         ctx.probe.sample(f"get:{route.protocol.value}", self.sim.now - t0)
         ctx.memory_changed()
         return None

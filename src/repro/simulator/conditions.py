@@ -2,9 +2,12 @@
 
 ``AllOf`` succeeds when every child has succeeded; it fails as soon as
 any child fails (remaining children are defused so their failures do
-not abort the run).  ``AnyOf`` succeeds with the first child outcome.
-Both succeed with a :class:`ConditionValue` mapping each *triggered*
-child event to its value, preserving submission order.
+not abort the run).  ``AnyOf`` succeeds with the first child that
+*succeeds* — a faulting sibling is defused and remembered, and only
+when every child has failed does ``AnyOf`` fail (with the first
+failure's exception).  Both succeed with a :class:`ConditionValue`
+mapping each *triggered* child event to its value, preserving
+submission order.
 """
 
 from __future__ import annotations
@@ -93,13 +96,19 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Succeeds (or fails) with the first child outcome."""
+    """Succeeds with the first child *success*; fails only when every
+    child has failed (propagating the first failure's exception).
 
-    __slots__ = ()
+    A faulting sibling is defused so its failure never aborts the run —
+    under fault injection, one path dying must not mask a redundant
+    path that is about to deliver."""
+
+    __slots__ = ("_first_exc",)
 
     def __init__(self, sim: Simulator, children: List[Event], name: str = "any_of"):
         if not children:
             raise SimulationError("AnyOf requires at least one event")
+        self._first_exc = None
         super().__init__(sim, children, name)
 
     def _on_child(self, child: Event) -> None:
@@ -109,7 +118,11 @@ class AnyOf(_Condition):
             return
         if child._exc is not None:
             child.defuse()
-            self.fail(child._exc)
+            if self._first_exc is None:
+                self._first_exc = child._exc
+            self._pending -= 1
+            if self._pending == 0:
+                self.fail(self._first_exc)
             return
         self._result._add(child)
         self.succeed(self._result)

@@ -58,6 +58,14 @@ class SimStats:
     pipeline transfers that took the closed-form path and
     ``fastpath_events_saved`` estimates how many per-chunk events each
     batch replaced.
+
+    The reliability counters (``retries`` .. ``degraded_time``) are only
+    ever non-zero when a :class:`repro.faults.FaultPlan` is attached:
+    ``retries`` counts RC retransmissions (plus staged-chunk replays),
+    ``failovers`` counts protocol re-routes away from an unhealthy path,
+    ``flap_windows``/``hca_stalls``/``cq_errors`` count injected faults
+    as they bite, and ``degraded_time`` accumulates virtual seconds
+    paths spent in the health tracker's DEGRADED state.
     """
 
     __slots__ = (
@@ -66,21 +74,22 @@ class SimStats:
         "resumed_fast",
         "fastpath_batches",
         "fastpath_events_saved",
+        "retries",
+        "failovers",
+        "flap_windows",
+        "hca_stalls",
+        "cq_errors",
+        "degraded_time",
     )
 
     def __init__(self) -> None:
-        self.scheduled = 0
-        self.processed = 0
-        self.resumed_fast = 0
-        self.fastpath_batches = 0
-        self.fastpath_events_saved = 0
+        for name in self.__slots__:
+            setattr(self, name, 0)
+        self.degraded_time = 0.0
 
     def absorb(self, other: "SimStats") -> None:
-        self.scheduled += other.scheduled
-        self.processed += other.processed
-        self.resumed_fast += other.resumed_fast
-        self.fastpath_batches += other.fastpath_batches
-        self.fastpath_events_saved += other.fastpath_events_saved
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -343,6 +352,10 @@ class Simulator:
         #: trace and no contention; tests flip this off to force the
         #: event-accurate path.
         self.fastpath = True
+        #: Set by :class:`repro.faults.FaultInjector` when a fault plan
+        #: is attached.  The batched fast paths consult it and decline —
+        #: closed-form replay cannot model a link dying mid-window.
+        self.faults_active = False
 
     # -- clock ---------------------------------------------------------
     @property

@@ -168,16 +168,67 @@ GOLDEN = {
 GOLDEN_SIZES = [16 * KiB << i for i in range(9)]  # 16 KiB .. 4 MiB
 
 
+def _golden_job(design, **kwargs):
+    return ShmemJob(
+        nodes=2, pes_per_node=1, design=design,
+        host_heap_size=32 * MiB, gpu_heap_size=32 * MiB, **kwargs,
+    )
+
+
 @pytest.mark.parametrize("design,op", sorted(GOLDEN))
 def test_fig8_golden_end_times(design, op):
     """Pin the Fig 8 D-D sweep end times to the values the archived
-    ``benchmarks/results`` were generated with (exact float equality)."""
-    job = ShmemJob(
-        nodes=2, pes_per_node=1, design=design,
-        host_heap_size=32 * MiB, gpu_heap_size=32 * MiB,
-    )
+    ``benchmarks/results`` were generated with (exact float equality).
+
+    Also pins the *absence* of the reliability machinery: with no fault
+    plan attached there is no RC transport, no health tracker, and every
+    fault counter stays zero — the subsystem must be invisible."""
+    job = _golden_job(design)
     job.run(lat._sweep_program(op, GOLDEN_SIZES, Domain.GPU, Domain.GPU, "far"))
     assert job.sim.now == GOLDEN[(design, op)]
+    assert job.verbs.rc is None and job.runtime.health is None
+    s = job.sim.stats
+    assert (s.retries, s.failovers, s.flap_windows) == (0, 0, 0)
+    assert (s.hca_stalls, s.cq_errors, s.degraded_time) == (0, 0, 0.0)
+
+
+@pytest.mark.parametrize("design,op", sorted(GOLDEN))
+def test_fig8_golden_with_empty_fault_plan(design, op):
+    """An *attached but empty* fault plan arms the reliability layer
+    (RC transport, health tracker, fastpath refusal) yet must not move
+    a single timestamp: the golden end times hold exactly, with zero
+    batched pipelines taken."""
+    from repro.faults import FaultPlan
+
+    job = _golden_job(design, fault_plan=FaultPlan(seed=0))
+    job.run(lat._sweep_program(op, GOLDEN_SIZES, Domain.GPU, Domain.GPU, "far"))
+    assert job.sim.now == GOLDEN[(design, op)]
+    assert job.verbs.rc is not None
+    assert job.sim.stats.fastpath_batches == 0  # faults_active declines it
+    assert job.sim.stats.retries == 0
+
+
+def test_faulted_sweep_declines_fastpath_and_stays_deterministic():
+    """Under an active flap plan the fast path must decline every
+    pipeline, and fastpath on/off must still be indistinguishable (the
+    gate makes both sides take the event-accurate path)."""
+    from repro.faults import FaultPlan
+    from repro.units import usec
+
+    probe = _golden_job("enhanced-gdr")
+    res = probe.run(lat._sweep_program("put", [64], Domain.GPU, Domain.GPU, "far"))
+    start = res.start_time
+
+    def make_job():
+        plan = FaultPlan(seed=9).flap_gdr(
+            at=start + usec(40), down_for=usec(120), every=usec(400), count=3, node=1
+        )
+        return _golden_job("enhanced-gdr", fault_plan=plan)
+
+    batches = _ab_run(
+        make_job, lat._sweep_program("put", SIZES, Domain.GPU, Domain.GPU, "far")
+    )
+    assert batches == 0
 
 
 # ----------------------------------------------------------- satellites

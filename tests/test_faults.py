@@ -1,0 +1,352 @@
+"""Tests for deterministic fault injection, RC retry, and failover.
+
+The headline scenario mirrors the paper's Fig 8 setting — inter-node
+D-D puts under the enhanced-gdr design — with the target GPU's PCIe
+link flapping: every payload must still arrive intact (degraded to the
+host-staged path while the GDR window is down), the run must record
+retries/failovers/flap windows, and two runs of the same seeded plan
+must be bit-identical.
+"""
+
+import pytest
+
+from repro.errors import CompletionError, LinkDown, RetryExceeded
+from repro.faults import DEGRADED, FaultPlan, HealthTracker, HEALTHY, PROBING
+from repro.hardware.links import Link, TransferSpec
+from repro.hardware.params import wilkes_params
+from repro.ib import CompletionQueue, post_signaled
+from repro.ib.rc import RCTransport
+from repro.shmem import Domain, ShmemJob
+from repro.simulator import Simulator
+from repro.units import KiB, MiB, usec
+
+SIZES = [8 * KiB, 64 * KiB, 1 * MiB]  # Direct-GDR + two pipeline puts
+
+#: Tight retry budget so a 150 us flap exhausts RC retries and forces
+#: failover instead of being silently absorbed.
+FAULT_PARAMS = dict(rc_timeout=usec(5), rc_retry_cnt=2, health_cooldown=usec(200))
+
+
+def _dd_sweep(sizes):
+    """PE 0 puts distinct patterns to PE 1 (device->device); PE 1
+    verifies every payload after the closing barrier."""
+
+    def main(ctx):
+        total = sum(max(s, 64) for s in sizes)
+        sym = yield from ctx.shmalloc(total, domain=Domain.GPU)
+        yield from ctx.barrier_all()
+        if ctx.pe == 0:
+            off = 0
+            for i, s in enumerate(sizes):
+                src = ctx.cuda.malloc(s)
+                src.fill(0x10 + i, s)
+                yield from ctx.putmem(sym + off, src, s, pe=1)
+                yield from ctx.quiet()
+                off += max(s, 64)
+        yield from ctx.barrier_all()
+        ok = None
+        if ctx.pe == 1:
+            off, ok = 0, []
+            for i, s in enumerate(sizes):
+                ok.append((sym + off).read(s) == bytes([0x10 + i]) * s)
+                off += max(s, 64)
+        return ok
+
+    return main
+
+
+def _job(plan=None, **overrides):
+    params = wilkes_params(**{**FAULT_PARAMS, **overrides})
+    return ShmemJob(
+        nodes=2, pes_per_node=1, design="enhanced-gdr", params=params, fault_plan=plan
+    )
+
+
+def _workload_start():
+    """Virtual instant the program bodies begin (after init+barrier)."""
+    res = _job().run(_dd_sweep([64]))
+    return res.start_time
+
+
+def _stats_dict(sim):
+    return {k: getattr(sim.stats, k) for k in type(sim.stats).__slots__}
+
+
+# ------------------------------------------------------- headline scenario
+def _run_flapped_sweep():
+    start = _workload_start()
+    plan = FaultPlan(seed=1).flap_gdr(
+        at=start + usec(60), down_for=usec(150), every=usec(250), count=4, node=1
+    )
+    job = _job(plan)
+    res = job.run(_dd_sweep(SIZES))
+    return job, res
+
+
+def test_dd_sweep_completes_through_gdr_flaps():
+    job, res = _run_flapped_sweep()
+    s = job.sim.stats
+    assert res.results[1] == [True, True, True]  # every payload intact
+    assert s.retries > 0  # in-flight GDR writes were retransmitted
+    assert s.failovers > 0  # and eventually re-routed host-staged
+    assert s.flap_windows == 4
+    assert s.degraded_time > 0.0
+    # The flapped write leg ended the run marked unhealthy.
+    states = {p["path"]: p["state"] for p in job.runtime.health.snapshot()}
+    assert states["n1.gpu0.pcie:fwd"] in (DEGRADED, PROBING)
+    # The RC layer attributed its retransmissions to that leg.
+    assert job.verbs.rc.retries_by_path.get("n1.gpu0.pcie:fwd", 0) > 0
+
+
+def test_flapped_sweep_is_seed_deterministic():
+    job_a, res_a = _run_flapped_sweep()
+    job_b, res_b = _run_flapped_sweep()
+    assert res_a.elapsed == res_b.elapsed  # exact float equality
+    assert _stats_dict(job_a.sim) == _stats_dict(job_b.sim)
+    assert job_a.runtime.protocol_counts == job_b.runtime.protocol_counts
+    assert job_a.faults.log == job_b.faults.log
+
+
+def test_flap_during_selection_degrades_to_host_staged():
+    """Puts *selected* while the GDR window is down go host-staged
+    proactively (no doomed post), and still deliver."""
+    start = _workload_start()
+    plan = FaultPlan(seed=2).flap_gdr(
+        at=start, down_for=usec(400), node=1
+    )
+    job = _job(plan)
+    res = job.run(_dd_sweep(SIZES))
+    assert res.results[1] == [True, True, True]
+    counts = {p.value: c for p, c in job.runtime.protocol_counts.items()}
+    assert counts.get("proxy", 0) > 0  # degraded deliveries
+    assert job.sim.stats.failovers > 0
+
+
+def test_path_returns_to_gdr_after_cooldown():
+    """DEGRADED -> (cooldown) -> PROBING -> HEALTHY: after the window
+    and the cooldown, small puts take Direct GDR again."""
+    start = _workload_start()
+    plan = FaultPlan(seed=3).flap_gdr(at=start + usec(20), down_for=usec(100), node=1)
+    cooldown = usec(3000)  # long enough that the degraded big put ends inside it
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(2 * MiB, domain=Domain.GPU)
+        yield from ctx.barrier_all()
+        if ctx.pe == 0:
+            big = ctx.cuda.malloc(1 * MiB)
+            big.fill(0xAB, 1 * MiB)
+            # Overlaps the flap: retries mark the write leg DEGRADED.
+            yield from ctx.putmem(sym, big, 1 * MiB, pe=1)
+            yield from ctx.quiet()
+            small = ctx.cuda.malloc(1 * KiB)
+            small.fill(0xCD, 1 * KiB)
+            # Link is repaired but the cooldown has not elapsed: the
+            # runtime must still avoid the degraded path.
+            yield from ctx.putmem(sym + 1 * MiB, small, 1 * KiB, pe=1)
+            yield from ctx.quiet()
+            during = dict(ctx.runtime.protocol_counts)
+            yield from ctx.compute(2 * cooldown)  # ride out the cooldown
+            yield from ctx.putmem(sym + 1 * MiB, small, 1 * KiB, pe=1)
+            yield from ctx.quiet()
+            after = dict(ctx.runtime.protocol_counts)
+            return (during, after)
+        return None
+
+    job = _job(plan, health_cooldown=cooldown)
+    res = job.run(main)
+    during, after = res.results[0]
+    from repro.shmem.constants import Protocol
+
+    # While degraded the small put could not use Direct GDR...
+    assert during.get(Protocol.DIRECT_GDR, 0) == 0
+    # ...after the cooldown the probe put went straight GDR again.
+    assert after.get(Protocol.DIRECT_GDR, 0) == 1
+    health = job.runtime.health.paths["n1.gpu0.pcie:fwd"]
+    assert health.state == HEALTHY
+    assert health.degraded_time > 0.0
+
+
+# --------------------------------------------------------- RC unit tests
+def _rc_env(**overrides):
+    sim = Simulator()
+    params = wilkes_params(**{
+        "rc_timeout": 0.1, "rc_backoff": 2.0, "rc_retry_cnt": 3, **overrides
+    })
+    link = Link(sim, "l")
+    rc = RCTransport(sim, params)
+    return sim, link, rc
+
+
+def test_rc_retry_recovers_from_transient_flap():
+    sim, link, rc = _rc_env()
+
+    def xfer(sim):
+        spec = TransferSpec(100, label="payload").add(link.fwd, 0.0, 100.0)
+        result = yield from rc.execute(spec)
+        return (sim.now, result)
+
+    def flapper(sim):
+        yield sim.timeout(0.5)
+        link.fwd.fail()
+        yield sim.timeout(0.2)
+        link.fwd.repair()
+
+    p = sim.process(xfer(sim))
+    sim.process(flapper(sim))
+    sim.run()
+    # Attempt 1 held [0, 1.0] and lost its payload to the flap; the
+    # retry after the 0.1 s base timeout re-priced the full crossing.
+    assert p.value == (2.1, 100)
+    assert sim.stats.retries == 1
+    assert rc.retries_by_path == {"l:fwd": 1}
+
+
+def test_rc_exhaustion_raises_typed_retry_exc_err():
+    sim, link, rc = _rc_env()
+    link.fwd.fail()  # permanently down
+
+    def xfer(sim):
+        spec = TransferSpec(100, label="payload").add(link.fwd, 0.0, 100.0)
+        try:
+            yield from rc.execute(spec)
+        except RetryExceeded as exc:
+            return exc
+
+    p = sim.process(xfer(sim))
+    sim.run()
+    exc = p.value
+    assert isinstance(exc, CompletionError)
+    assert exc.status == "RETRY_EXC_ERR"
+    assert exc.attempts == 4  # retry_cnt=3 -> 4 attempts total
+    assert exc.direction is link.fwd
+    assert isinstance(exc.__cause__, LinkDown)
+    assert sim.stats.retries == 4
+    # Exponential backoff: failures at 0+, then delays 0.1, 0.2, 0.4.
+    assert sim.now == pytest.approx(0.1 + 0.2 + 0.4)
+
+
+def test_retry_exceeded_surfaces_at_quiet():
+    """With no viable fallback (flap the HCA port wholesale, downing
+    host-staged paths too), exhaustion surfaces as the typed completion
+    error at the quiet() completion point."""
+    start = _workload_start()
+    plan = FaultPlan(seed=4).flap(
+        at=start, down_for=usec(5000), node=1, kind="hca-port", direction="both"
+    )
+    job = _job(plan)
+    with pytest.raises(CompletionError) as ei:
+        job.run(_dd_sweep([8 * KiB]))
+    assert ei.value.status == "RETRY_EXC_ERR"
+
+
+# ------------------------------------------------------------- HCA stalls
+def test_hca_stall_delays_but_completes():
+    start = _workload_start()
+    baseline = _job().run(_dd_sweep(SIZES))
+    plan = FaultPlan(seed=5).stall_hca(at=start, duration=usec(300), node=0, hca=0)
+    job = _job(plan)
+    res = job.run(_dd_sweep(SIZES))
+    assert res.results[1] == [True, True, True]
+    assert job.sim.stats.hca_stalls > 0
+    assert job.hw.nodes[0].hcas[0].stalls_injected == 1
+    assert res.elapsed > baseline.elapsed  # the queue-drain delay shows
+
+
+# --------------------------------------------------------- CQ error bursts
+def test_cq_error_burst_flushes_signaled_completion():
+    plan = FaultPlan(seed=6).cq_error_burst(at=0.0, duration=1.0, max_errors=1)
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(256, domain=Domain.HOST)
+        yield from ctx.barrier_all()
+        out = None
+        if ctx.pe == 0:
+            verbs = ctx.runtime.verbs
+            cq = CompletionQueue(ctx.sim, name="prog-cq")
+            mr = ctx.runtime.heap_of(1, Domain.HOST).mr
+            src = ctx.cuda.malloc_host(64)
+            src.fill(0x77, 64)
+            post_signaled(
+                verbs, cq, "RDMA_WRITE",
+                verbs.rdma_write(ctx.endpoint, src, mr, sym.offset, 64), 64,
+            )
+            first = yield from cq.wait()
+            post_signaled(
+                verbs, cq, "RDMA_WRITE",
+                verbs.rdma_write(ctx.endpoint, src, mr, sym.offset + 64, 64), 64,
+            )
+            second = yield from cq.wait()
+            out = (first, second)
+        yield from ctx.barrier_all()
+        delivered = None
+        if ctx.pe == 1:
+            delivered = sym.read(64) == bytes([0x77]) * 64
+        return (out, delivered)
+
+    job = _job(plan)
+    res = job.run(main)
+    (first, second), _ = res.results[0]
+    assert not first.ok and first.status == "WR_FLUSH_ERR"
+    assert isinstance(first.error, CompletionError)
+    assert first.error.status == "WR_FLUSH_ERR"
+    assert second.ok  # budget of 1: the burst only eats one CQE
+    assert res.results[1][1] is True  # the data itself DID land
+    assert job.sim.stats.cq_errors == 1
+
+
+# ----------------------------------------------------------- plan/health
+def test_random_plan_is_seed_deterministic():
+    mk = lambda seed: FaultPlan(seed).random_gdr_flaps(
+        5, window=usec(1000), down_for=usec(50), node=1
+    )
+    assert mk(42).flaps == mk(42).flaps
+    assert mk(42).flaps != mk(43).flaps
+
+
+def test_plan_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        FaultPlan().flap(at=0.0, down_for=0.0)
+    with pytest.raises(ConfigurationError):
+        FaultPlan().flap(at=0.0, down_for=1.0, every=0.5, count=2)
+    with pytest.raises(ConfigurationError):
+        FaultPlan().stall_hca(at=0.0, duration=0.0)
+    with pytest.raises(ConfigurationError):
+        FaultPlan().cq_error_burst(at=0.0, duration=1.0, max_errors=0)
+
+
+def test_health_state_machine():
+    sim = Simulator()
+    h = HealthTracker(sim, fail_threshold=2, cooldown=10.0)
+    assert h.healthy("p", 0.0)  # unknown paths are healthy
+    h.record_retry("p", 1.0)
+    assert h.healthy("p", 1.0)  # one strike is not out
+    h.record_retry("p", 2.0)
+    assert h.paths["p"].state == DEGRADED
+    assert not h.healthy("p", 5.0)  # inside the cooldown
+    assert h.healthy("p", 12.5)  # cooldown elapsed: probe allowed
+    assert h.paths["p"].state == PROBING
+    h.record_success("p", 13.0)
+    assert h.paths["p"].state == HEALTHY
+    assert h.paths["p"].degraded_time == pytest.approx(11.0)  # 2.0 .. 13.0
+    # A retry while probing degrades again immediately.
+    h.record_retry("p", 14.0)
+    h.healthy("p", 25.0)
+    h.record_retry("p", 25.5)
+    assert h.paths["p"].state == DEGRADED
+
+
+def test_reliability_report_renders():
+    from repro.reporting import reliability_report
+
+    job, _res = _run_flapped_sweep()
+    report = reliability_report(job)
+    for needle in (
+        "Reliability counters", "flap windows", "Path health",
+        "n1.gpu0.pcie:fwd", "RC retransmissions", "Fault timeline",
+        "down gdrP2P",
+    ):
+        assert needle in report
+    # No plan attached -> nothing to report.
+    assert reliability_report(_job()) == ""

@@ -160,15 +160,20 @@ def test_link_failure_injection():
 
 
 def test_link_failure_mid_queue():
-    """A transfer queued behind a holder sees the failure on grant."""
+    """A failure mid-hold kills the in-flight transfer (payload lost at
+    the physical layer), and a transfer queued behind it sees the
+    failure on grant."""
     sim = Simulator()
     link = Link(sim, "l")
     results = []
 
     def holder(sim):
         spec = TransferSpec(100).add(link.fwd, 0.0, 100.0)
-        yield from spec.execute(sim)
-        results.append("holder-done")
+        try:
+            yield from spec.execute(sim)
+            results.append("holder-done")
+        except LinkDown:
+            results.append("holder-lost")
 
     def victim(sim):
         yield sim.timeout(0.1)
@@ -187,7 +192,80 @@ def test_link_failure_mid_queue():
     sim.process(victim(sim))
     sim.process(saboteur(sim))
     sim.run()
-    assert results == ["holder-done", "victim-down"]
+    assert results == ["holder-lost", "victim-down"]
+
+
+def test_repair_does_not_resurrect_inflight_transfer():
+    """Repairing mid-transfer must not let a transfer that overlapped
+    the down-window complete as if nothing happened: its payload was on
+    the wire when the link dropped.  Transfers started after the repair
+    succeed normally."""
+    sim = Simulator()
+    link = Link(sim, "l")
+    results = []
+
+    def holder(sim):
+        spec = TransferSpec(100).add(link.fwd, 0.0, 100.0)  # 1.0 s hold
+        try:
+            yield from spec.execute(sim)
+            results.append("holder-done")
+        except LinkDown as exc:
+            assert "mid-transfer" in str(exc)
+            results.append(("holder-lost", sim.now))
+        # A fresh attempt after the repair goes through cleanly.
+        retry = TransferSpec(100).add(link.fwd, 0.0, 100.0)
+        yield from retry.execute(sim)
+        results.append("retry-done")
+
+    def flapper(sim):
+        yield sim.timeout(0.3)
+        link.fwd.fail()
+        yield sim.timeout(0.3)
+        link.fwd.repair()  # repaired at 0.6, well before the 1.0 s hold ends
+
+    sim.process(holder(sim))
+    sim.process(flapper(sim))
+    sim.run()
+    assert not link.fwd.is_down
+    assert results == [("holder-lost", 1.0), "retry-done"]
+
+
+def test_label_scoped_failure():
+    """A labelled failure only downs transfers whose label matches the
+    prefix; other traffic on the same direction keeps flowing."""
+    sim = Simulator()
+    link = Link(sim, "l")
+    link.fwd.fail("gdrP2P")
+    assert link.fwd.blocks("gdrP2Pwrite")
+    assert link.fwd.blocks("gdrP2Pread")
+    assert not link.fwd.blocks("cudaMemcpyH2D")
+    assert not link.fwd.idle  # fast paths must not claim a flapping link
+    results = []
+
+    def memcpy(sim):
+        spec = TransferSpec(100, label="cudaMemcpyH2D").add(link.fwd, 0.0, 100.0)
+        yield from spec.execute(sim)
+        results.append("memcpy-done")
+
+    def gdr(sim):
+        spec = TransferSpec(100, label="gdrP2Pwrite").add(link.fwd, 0.0, 100.0)
+        try:
+            yield from spec.execute(sim)
+            results.append("gdr-done")
+        except LinkDown:
+            results.append("gdr-down")
+
+    sim.process(memcpy(sim))
+    sim.process(gdr(sim))
+    sim.run()
+    assert sorted(results) == ["gdr-down", "memcpy-done"]
+    # Overlapping windows nest: two fails need two repairs.
+    link.fwd.fail("gdrP2P")
+    link.fwd.repair("gdrP2P")
+    assert link.fwd.blocks("gdrP2Pwrite")
+    link.fwd.repair("gdrP2P")
+    assert not link.fwd.blocks("gdrP2Pwrite")
+    assert link.fwd.idle
 
 
 # ------------------------------------------------------------------ chunked

@@ -282,3 +282,87 @@ def test_probe_missing_series():
     assert probe.series("nope") == []
     assert probe.count("nope") == 0
     assert probe.total("nope") == 0
+
+
+def test_all_of_defuses_later_faulting_children():
+    """AllOf fails with the *first* child failure; a sibling that faults
+    afterwards is defused so its failure cannot abort the run."""
+    sim = Simulator()
+    ev1, ev2 = sim.event("e1"), sim.event("e2")
+
+    def proc(sim):
+        try:
+            yield sim.all_of([ev1, ev2])
+        except KeyError as exc:
+            return (sim.now, str(exc))
+
+    def faulter(sim):
+        yield sim.timeout(1.0)
+        ev1.fail(KeyError("first"))
+        yield sim.timeout(1.0)
+        ev2.fail(KeyError("second"))
+
+    p = sim.process(proc(sim))
+    sim.process(faulter(sim))
+    sim.run()  # ev2's late failure must not abort the simulation
+    assert p.value == (1.0, "'first'")
+
+
+def test_any_of_propagates_first_success_when_sibling_faults():
+    """A redundant path dying must not mask the sibling that delivers."""
+    sim = Simulator()
+    bad = sim.event("bad-path")
+
+    def proc(sim):
+        good = sim.timeout(2.0, value="delivered")
+        result = yield sim.any_of([bad, good])
+        return (sim.now, result.values())
+
+    def faulter(sim):
+        yield sim.timeout(1.0)
+        bad.fail(RuntimeError("path died"))
+
+    p = sim.process(proc(sim))
+    sim.process(faulter(sim))
+    sim.run()
+    assert p.value == (2.0, ["delivered"])
+
+
+def test_any_of_fails_only_when_every_child_failed():
+    sim = Simulator()
+    e1, e2 = sim.event(), sim.event()
+
+    def proc(sim):
+        try:
+            yield sim.any_of([e1, e2])
+        except RuntimeError as exc:
+            return (sim.now, str(exc))
+
+    def faulter(sim):
+        yield sim.timeout(1.0)
+        e1.fail(RuntimeError("first"))
+        yield sim.timeout(1.0)
+        e2.fail(RuntimeError("second"))
+
+    p = sim.process(proc(sim))
+    sim.process(faulter(sim))
+    sim.run()
+    # Fails only once BOTH children failed, with the FIRST exception.
+    assert p.value == (2.0, "first")
+
+
+def test_any_of_with_prefailed_child_still_succeeds():
+    sim = Simulator()
+    dead = sim.event("already-dead")
+    dead.fail(RuntimeError("pre-failed"))
+    dead.defuse()
+    sim.run()  # process the failure so AnyOf sees a settled child
+
+    def proc(sim):
+        good = sim.timeout(1.0, value="ok")
+        result = yield sim.any_of([dead, good])
+        return result.values()
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == ["ok"]
