@@ -25,6 +25,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.faults import FaultPlan  # noqa: E402
 from repro.hardware.params import wilkes_params  # noqa: E402
+from repro.obs import snapshot_job  # noqa: E402
 from repro.shmem import Domain, ShmemJob  # noqa: E402
 from repro.units import KiB, MiB, usec  # noqa: E402
 
@@ -84,6 +85,9 @@ def run_seed(seed: int, start: float) -> dict:
             job.runtime.protocol_counts.items(), key=lambda kv: kv[0].value
         )},
         "fault_log": [[t, desc] for t, desc in job.faults.log],
+        # Virtual-time-only, so it participates in the determinism
+        # check: a repeat run must reproduce every metric bit-exactly.
+        "metrics": snapshot_job(job).as_dict(),
     }
 
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig8a            # one artifact, full sweep
     python -m repro run table3 --quick   # trimmed sweep
     python -m repro run all --quick      # everything (CI smoke)
+    python -m repro trace fig8a          # traced run -> Chrome JSON
 """
 
 from __future__ import annotations
@@ -24,6 +25,15 @@ def main(argv=None) -> int:
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
     runp.add_argument("experiment", help="experiment id, e.g. fig8a, table3, all")
     runp.add_argument("--quick", action="store_true", help="trimmed sweeps")
+    tracep = sub.add_parser(
+        "trace", help="run one experiment under the span tracer, export Chrome JSON"
+    )
+    tracep.add_argument("experiment", help="experiment id, e.g. fig8a")
+    tracep.add_argument("--quick", action="store_true", help="trimmed sweeps")
+    tracep.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: trace-<experiment>.json)",
+    )
     args = parser.parse_args(argv)
 
     from repro.reporting import EXPERIMENTS, run_experiment
@@ -39,6 +49,26 @@ def main(argv=None) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}; try 'python -m repro list'", file=sys.stderr)
         return 2
+
+    if args.command == "trace":
+        from repro.obs import SpanTracer, install, uninstall, write_chrome_trace
+
+        tracer = install(SpanTracer())
+        try:
+            for target in targets:
+                print(run_experiment(target, quick=args.quick))
+                print()
+        finally:
+            uninstall()
+        out = args.output or f"trace-{args.experiment}.json"
+        path = write_chrome_trace(tracer, out)
+        print(
+            f"wrote {path}: {len(tracer.spans)} spans, "
+            f"{len(tracer.instants)} instants across {tracer.nscopes} job(s)"
+            + (f" [TRUNCATED: {tracer.dropped} dropped]" if tracer.truncated else "")
+        )
+        return 0
+
     for target in targets:
         print(run_experiment(target, quick=args.quick))
         print()

@@ -49,6 +49,8 @@ class TargetResult:
     sim_stats: Dict[str, int]
     cached: bool = False
     error: Optional[str] = None
+    #: Flat dotted-key metrics snapshot (``repro.obs.snapshot_stats``).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -58,6 +60,7 @@ class TargetResult:
             "sim_stats": self.sim_stats,
             "cached": self.cached,
             "error": self.error,
+            "metrics": self.metrics,
         }
 
 
@@ -104,6 +107,7 @@ class SweepReport:
 
 def _run_one(exp_id: str, quick: bool) -> dict:
     """Worker: run one experiment, return a plain dict (picklable)."""
+    from repro.obs import snapshot_stats
     from repro.reporting.experiments import run_experiment
     from repro.simulator.core import GLOBAL_STATS, reset_global_stats
 
@@ -123,6 +127,7 @@ def _run_one(exp_id: str, quick: bool) -> dict:
         "output_sha256": digest,
         "sim_stats": GLOBAL_STATS.as_dict(),
         "error": err,
+        "metrics": snapshot_stats(GLOBAL_STATS),
     }
 
 
@@ -157,6 +162,7 @@ class SweepRunner:
             sim_stats=rec["sim_stats"],
             cached=True,
             error=rec.get("error"),
+            metrics=rec.get("metrics", {}),
         )
 
     def _store(self, rec: dict) -> None:
@@ -197,6 +203,7 @@ class SweepRunner:
                     sim_stats=rec["sim_stats"],
                     cached=False,
                     error=rec["error"],
+                    metrics=rec.get("metrics", {}),
                 )
                 if verbose:
                     r = by_id[rec["exp_id"]]

@@ -293,7 +293,17 @@ class TransferSpec:
                 if d.blocks(self.leg_label(d)):
                     raise LinkDown(f"link direction {d.name} went down", direction=d)
             marks = [(d, d.fail_mark) for d in directions]
+            hold_start = sim.now
             yield sim.timeout(self.duration(), name=self.label)
+            tracer = sim.tracer
+            if tracer is not None:
+                # One completed crossing per hop direction, recorded
+                # post-hoc so the span costs nothing on the timed path.
+                for d in directions:
+                    tracer.complete(
+                        sim, self.label, "link", f"link:{d.name}",
+                        hold_start, nbytes=self.nbytes,
+                    )
             for d, mark in marks:
                 if d.failed_since(mark, self.leg_label(d)):
                     raise LinkDown(

@@ -182,21 +182,31 @@ class Verbs:
         dst_ptr = remote_mr.ptr(remote_offset)
         p = self.params
         sim = self.sim
+        tracer = sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                sim, "rdma_write", "ib", f"ib:pe{ep.owner}",
+                nbytes=nbytes, target_node=remote_mr.node_id,
+            )
+        try:
+            yield sim.timeout(p.rdma_post_overhead, name="rdma_write:post")
+            payload = local.read(nbytes)  # source buffer reusable from here on
+            if posted is not None and not posted.triggered:
+                posted.succeed(sim.now)
 
-        yield sim.timeout(p.rdma_post_overhead, name="rdma_write:post")
-        payload = local.read(nbytes)  # source buffer reusable from here on
-        if posted is not None and not posted.triggered:
-            posted.succeed(sim.now)
+            ep.hca.count_tx()
+            path, dst_hca = self.write_path(ep, local, remote_mr, nbytes, remote_hca)
+            yield from self._execute(path, ep.hca)
+            dst_hca.count_rx()
 
-        ep.hca.count_tx()
-        path, dst_hca = self.write_path(ep, local, remote_mr, nbytes, remote_hca)
-        yield from self._execute(path, ep.hca)
-        dst_hca.count_rx()
-
-        dst_ptr.write(payload)
-        if delivered is not None and not delivered.triggered:
-            delivered.succeed(sim.now)
-        yield sim.timeout(p.rdma_ack_latency, name="rdma_write:ack")
+            dst_ptr.write(payload)
+            if delivered is not None and not delivered.triggered:
+                delivered.succeed(sim.now)
+            yield sim.timeout(p.rdma_ack_latency, name="rdma_write:ack")
+        finally:
+            if tracer is not None:
+                tracer.end(sim, span)
         return nbytes
 
     # ----------------------------------------------------------- RDMA read
@@ -216,31 +226,41 @@ class Verbs:
         src_ptr = remote_mr.ptr(remote_offset)
         p = self.params
         sim = self.sim
+        tracer = sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                sim, "rdma_read", "ib", f"ib:pe{ep.owner}",
+                nbytes=nbytes, source_node=remote_mr.node_id,
+            )
+        try:
+            yield sim.timeout(p.rdma_post_overhead, name="rdma_read:post")
+            ep.hca.count_tx()
+            # Request travels to the remote HCA (tiny, latency only).
+            src_node_id, src_hca_id = self._remote_endpoint_hca(remote_mr, remote_hca)
+            src_hca = self.hw.nodes[src_node_id].hcas[src_hca_id]
+            yield from self._execute(self.hw.fabric.wire(ep.hca, src_hca, 0), ep.hca)
+            yield sim.timeout(p.hca_rx_overhead)
 
-        yield sim.timeout(p.rdma_post_overhead, name="rdma_read:post")
-        ep.hca.count_tx()
-        # Request travels to the remote HCA (tiny, latency only).
-        src_node_id, src_hca_id = self._remote_endpoint_hca(remote_mr, remote_hca)
-        src_hca = self.hw.nodes[src_node_id].hcas[src_hca_id]
-        yield from self._execute(self.hw.fabric.wire(ep.hca, src_hca, 0), ep.hca)
-        yield sim.timeout(p.hca_rx_overhead)
-
-        # Response: remote fetch (GDR P2P *read* when on GPU) streams
-        # cut-through across the fabric into the local buffer.
-        src_pcie = self.hw.nodes[src_node_id].pcie
-        if src_ptr.kind is MemKind.DEVICE:
-            path = src_pcie.p2p(src_hca_id, src_ptr.device_id, nbytes, read=True)
-        else:
-            path = src_pcie.hca_host_leg(src_hca_id, nbytes, to_host=False)
-        payload = src_ptr.read(nbytes)
-        src_hca.count_tx()
-        path.extend(self.hw.fabric.wire(src_hca, ep.hca, nbytes))
-        path.extend(self._local_leg(ep, local, nbytes, read=False))
-        path.setup += p.hca_tx_overhead + p.hca_rx_overhead
-        path.label = "rdma_read"
-        yield from self._execute(path, src_hca)
-        ep.hca.count_rx()
-        local.write(payload)
+            # Response: remote fetch (GDR P2P *read* when on GPU) streams
+            # cut-through across the fabric into the local buffer.
+            src_pcie = self.hw.nodes[src_node_id].pcie
+            if src_ptr.kind is MemKind.DEVICE:
+                path = src_pcie.p2p(src_hca_id, src_ptr.device_id, nbytes, read=True)
+            else:
+                path = src_pcie.hca_host_leg(src_hca_id, nbytes, to_host=False)
+            payload = src_ptr.read(nbytes)
+            src_hca.count_tx()
+            path.extend(self.hw.fabric.wire(src_hca, ep.hca, nbytes))
+            path.extend(self._local_leg(ep, local, nbytes, read=False))
+            path.setup += p.hca_tx_overhead + p.hca_rx_overhead
+            path.label = "rdma_read"
+            yield from self._execute(path, src_hca)
+            ep.hca.count_rx()
+            local.write(payload)
+        finally:
+            if tracer is not None:
+                tracer.end(sim, span)
         return nbytes
 
     # ------------------------------------------------------------ send/recv
@@ -250,16 +270,27 @@ class Verbs:
         p = self.params
         sim = self.sim
         nbytes = len(payload)
-        yield sim.timeout(p.rdma_post_overhead, name="send:post")
-        ep.hca.count_tx()
-        path = ep.node.pcie.hca_host_leg(ep.hca_id, nbytes, to_host=False)
-        path.extend(self.hw.fabric.wire(ep.hca, dst.hca, nbytes))
-        path.extend(dst.node.pcie.hca_host_leg(dst.hca_id, nbytes, to_host=True))
-        path.setup += p.hca_tx_overhead + p.hca_rx_overhead
-        path.label = "ib_send"
-        yield from self._execute(path, ep.hca)
-        dst.hca.count_rx()
-        dst._recv_queue.put((ep.owner, payload))
+        tracer = sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                sim, "ib_send", "ib", f"ib:pe{ep.owner}",
+                nbytes=nbytes, target_pe=dst.owner,
+            )
+        try:
+            yield sim.timeout(p.rdma_post_overhead, name="send:post")
+            ep.hca.count_tx()
+            path = ep.node.pcie.hca_host_leg(ep.hca_id, nbytes, to_host=False)
+            path.extend(self.hw.fabric.wire(ep.hca, dst.hca, nbytes))
+            path.extend(dst.node.pcie.hca_host_leg(dst.hca_id, nbytes, to_host=True))
+            path.setup += p.hca_tx_overhead + p.hca_rx_overhead
+            path.label = "ib_send"
+            yield from self._execute(path, ep.hca)
+            dst.hca.count_rx()
+            dst._recv_queue.put((ep.owner, payload))
+        finally:
+            if tracer is not None:
+                tracer.end(sim, span)
         return nbytes
 
     # -------------------------------------------------------------- atomics
@@ -290,6 +321,33 @@ class Verbs:
         if nbytes not in (1, 2, 4, 8):
             raise IBError(f"atomic width must be 1/2/4/8 bytes, got {nbytes}")
         remote_mr.check_range(remote_offset, nbytes)
+        p = self.params
+        sim = self.sim
+        tracer = sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                sim, "ib_atomic", "ib", f"ib:pe{ep.owner}",
+                nbytes=nbytes, target_node=remote_mr.node_id,
+            )
+        try:
+            old = yield from self._atomic_timed(
+                ep, remote_mr, remote_offset, nbytes, rmw, remote_hca
+            )
+        finally:
+            if tracer is not None:
+                tracer.end(sim, span)
+        return old
+
+    def _atomic_timed(
+        self,
+        ep: Endpoint,
+        remote_mr: MemoryRegion,
+        remote_offset: int,
+        nbytes: int,
+        rmw,
+        remote_hca: Optional[int],
+    ) -> Generator:
         p = self.params
         sim = self.sim
         dst_node_id, dst_hca_id = yield from self._atomic_rtt(ep, remote_mr, remote_hca)

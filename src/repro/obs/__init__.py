@@ -1,0 +1,80 @@
+"""Observability: span tracing, Chrome trace export, unified metrics.
+
+Three pieces (see ``docs/architecture.md`` §10):
+
+* :mod:`repro.obs.spans` — :class:`SpanTracer`, the attachable span
+  collector every instrumented layer emits into;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) plus the schema validator CI runs;
+* :mod:`repro.obs.metrics` — :class:`MetricsSnapshot`, one queryable
+  registry merging engine counters, probe latency histograms, link
+  byte counters, and fault/health state.
+
+The module-level *install* hook lets a CLI entry point trace code that
+builds its own jobs internally: ``install(tracer)`` makes every
+subsequently-constructed :class:`~repro.shmem.job.ShmemJob` attach its
+simulator to that tracer (each as its own scope/pid in the export).
+With nothing installed and no tracer attached, every emission site is
+a single ``is None`` test — the fast paths stay enabled and runs are
+bit-identical (enforced by the Fig 8 goldens).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.export import to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    LatencyHistogram,
+    MetricsSnapshot,
+    percentile,
+    snapshot_job,
+    snapshot_probe,
+    snapshot_stats,
+)
+from repro.obs.spans import Instant, Span, SpanTracer
+
+#: Process-wide tracer new jobs auto-attach to (``None`` = disabled).
+_ACTIVE: Optional[SpanTracer] = None
+
+
+def install(tracer: SpanTracer) -> SpanTracer:
+    """Make every ShmemJob constructed from now on trace into ``tracer``."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[SpanTracer]:
+    return _ACTIVE
+
+
+def attach_active(sim, label: Optional[str] = None) -> None:
+    """Called by ``ShmemJob.__init__``: attach the installed tracer, if any."""
+    if _ACTIVE is not None:
+        _ACTIVE.attach(sim, label=label)
+
+
+__all__ = [
+    "Instant",
+    "LatencyHistogram",
+    "MetricsSnapshot",
+    "Span",
+    "SpanTracer",
+    "active",
+    "attach_active",
+    "install",
+    "percentile",
+    "snapshot_job",
+    "snapshot_probe",
+    "snapshot_stats",
+    "to_chrome_trace",
+    "uninstall",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,156 @@
+"""Chrome trace-event JSON export for :class:`~repro.obs.spans.SpanTracer`.
+
+The output follows the Trace Event Format's *JSON object* flavour
+(``{"traceEvents": [...]}``) and loads directly in Perfetto or
+``chrome://tracing``:
+
+* every closed span becomes a complete event (``"ph": "X"``) with
+  ``ts``/``dur`` in **microseconds of virtual time**;
+* every instant marker becomes a thread-scoped instant event
+  (``"ph": "i", "s": "t"``);
+* each attached simulator/job is one ``pid``; each track one ``tid``,
+  both named via ``"M"`` (metadata) events so the viewer shows
+  "job 0 / pe0" instead of bare numbers.
+
+:func:`validate_chrome_trace` is the schema check CI runs on the
+exported artifact — it returns a list of human-readable problems
+(empty == valid) rather than raising, so a smoke script can report
+every defect at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.spans import SpanTracer
+
+
+def _sanitize(args: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe copy of span args (repr anything exotic)."""
+    out = {}
+    for k, v in args.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = repr(v)
+    return out
+
+
+def to_chrome_trace(tracer: SpanTracer) -> Dict[str, Any]:
+    """Render the tracer's spans/instants as a Trace Event Format dict."""
+    events: List[dict] = []
+    tids: Dict[tuple, int] = {}
+    scopes = set()
+
+    def tid_of(scope: int, track: str) -> int:
+        key = (scope, track)
+        if key not in tids:
+            tids[key] = len(tids)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": scope,
+                    "tid": tids[key],
+                    "args": {"name": track},
+                }
+            )
+        if scope not in scopes:
+            scopes.add(scope)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": scope,
+                    "tid": 0,
+                    "args": {"name": tracer.scope_label(scope)},
+                }
+            )
+        return tids[key]
+
+    for span in tracer.spans:
+        if span.end is None:
+            continue  # open span: the run aborted mid-op; skip
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.scope,
+                "tid": tid_of(span.scope, span.track),
+                "args": _sanitize(span.args),
+            }
+        )
+    for inst in tracer.instants:
+        events.append(
+            {
+                "name": inst.name,
+                "cat": inst.cat,
+                "ph": "i",
+                "s": "t",
+                "ts": inst.time * 1e6,
+                "pid": inst.scope,
+                "tid": tid_of(inst.scope, inst.track),
+                "args": _sanitize(inst.args),
+            }
+        )
+    doc: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if tracer.truncated:
+        doc["otherData"] = {"truncated": True, "dropped": tracer.dropped}
+    return doc
+
+
+def write_chrome_trace(tracer: SpanTracer, path: Union[str, Path]) -> Path:
+    """Export to ``path``; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracer)) + "\n")
+    return path
+
+
+#: Phases this exporter emits (validation rejects anything else).
+_KNOWN_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check a Trace Event Format document.
+
+    Accepts the parsed JSON (dict) and returns a list of problems;
+    an empty list means the document is a valid JSON-object-format
+    trace that Perfetto/chrome://tracing will load.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant scope 's' must be t/p/g")
+    return problems

@@ -42,7 +42,18 @@ def format_series(
 
     ``series`` maps a curve name to either a list of y values aligned
     with ``x_values`` or None (rendered as 'n/s' — not supported, the
-    way Fig 9 omits the baseline)."""
+    way Fig 9 omits the baseline).
+
+    Raises :class:`ValueError` up front for a ragged curve (length !=
+    ``len(x_values)``) instead of an opaque ``IndexError`` mid-render.
+    """
+    n = len(x_values)
+    for name, ys in series.items():
+        if ys is not None and len(ys) != n:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values for {n} x values; "
+                "every curve must align with x_values (or be None)"
+            )
     headers = [x_label] + list(series)
     rows = []
     for i, x in enumerate(x_values):

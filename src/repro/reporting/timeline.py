@@ -59,8 +59,21 @@ class EventCount:
         return [self.category, str(self.events)]
 
 
-def event_breakdown(trace: Trace) -> List[EventCount]:
-    """Count fired events per protocol category."""
+def event_breakdown(trace: Trace, strict: bool = True) -> List[EventCount]:
+    """Count fired events per protocol category.
+
+    A truncated trace (records dropped past its limit) undercounts
+    every category; by default that raises so an analysis can never
+    silently report partial numbers.  Pass ``strict=False`` to get the
+    partial counts anyway (as :func:`breakdown_table` does, which flags
+    the truncation in its rendering instead).
+    """
+    if strict and getattr(trace, "truncated", False):
+        raise ValueError(
+            f"trace is truncated ({trace.dropped} events dropped past its "
+            "limit); breakdown would undercount — raise Trace(limit=...) "
+            "or pass strict=False for partial counts"
+        )
     counts: Dict[str, int] = defaultdict(int)
     for rec in trace.records:
         cat = categorize(rec.name)
@@ -106,11 +119,17 @@ def utilization_table(hw: ClusterHardware, elapsed: float, top: int = 12) -> str
 
 
 def breakdown_table(trace: Trace) -> str:
-    return format_table(
+    table = format_table(
         ["category", "events"],
-        [e.row() for e in event_breakdown(trace)],
+        [e.row() for e in event_breakdown(trace, strict=False)],
         title="Fired-event breakdown",
     )
+    if getattr(trace, "truncated", False):
+        table += (
+            f"\nWARNING: trace truncated — {trace.dropped} events dropped "
+            "past the record limit; counts above are partial"
+        )
+    return table
 
 
 def reliability_report(job) -> str:

@@ -294,11 +294,12 @@ def collect(ctx, dst, src, my_nbytes: int) -> Generator:
     if 8 * npes > 2048:
         raise ShmemError("collect size table exceeds the reserved sync area")
     yield from barrier_all(ctx)
+    # The slot is a function of this PE alone — resolve it once, not
+    # once per peer (sync_sym walks the heap layout each call).
+    my_slot = ctx.sync_sym(COLLECT_SIZES_OFF + 8 * ctx.pe)
     for i in range(1, npes):
         peer = (ctx.pe + i) % npes
-        slot = ctx.sync_sym(COLLECT_SIZES_OFF + 8 * ctx.pe)
-        yield from ctx.put_uint64(slot.addr, my_nbytes, peer)
-    my_slot = ctx.sync_sym(COLLECT_SIZES_OFF + 8 * ctx.pe)
+        yield from ctx.put_uint64(my_slot.addr, my_nbytes, peer)
     my_slot.write(int(my_nbytes).to_bytes(8, "little"))
     yield from ctx.quiet()
     yield from barrier_all(ctx)

@@ -85,6 +85,12 @@ class ShmemJob:
         self.faults = None
         if fault_plan is not None:
             fault_plan.attach(self)
+        # A process-wide installed SpanTracer (``repro.obs.install``)
+        # traces every job built while active — this is how the CLI
+        # traces experiments that construct jobs internally.
+        from repro.obs import attach_active
+
+        attach_active(self.sim, label=f"{design} x{self.npes}PE")
 
     @property
     def mpi(self):

@@ -59,6 +59,17 @@ class Route:
         """
         return self.protocol is not Protocol.HOST_PIPELINE
 
+    def span_args(self) -> dict:
+        """The decision, flattened for a tracing instant marker."""
+        return {
+            "protocol": self.protocol.value,
+            "op": self.op.value,
+            "config": self.config.value,
+            "locality": self.locality.value,
+            "nbytes": self.nbytes,
+            "reason": self.reason,
+        }
+
 
 class ProtocolSelector:
     """Base class: shared helpers for threshold reasoning."""

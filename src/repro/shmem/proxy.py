@@ -171,7 +171,13 @@ class ProxyDaemon:
         requester is the only observer and wakes at the final ack).
         Returns the event the proxy loop resumes on, or ``None``."""
         sim = self.sim
-        if not (sim.fastpath and not sim.faults_active and sim.trace is None and sim.quiescent()):
+        if not (
+            sim.fastpath
+            and not sim.faults_active
+            and sim.trace is None
+            and sim.tracer is None
+            and sim.quiescent()
+        ):
             return None
         pool = self.staging
         if not pool.idle:

@@ -418,23 +418,40 @@ class Runtime:
         if nbytes <= 0:
             raise ShmemError(f"putmem of {nbytes} bytes")
         p = self.params
-        yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
-        config = Config.of(src.kind is MemKind.DEVICE, dst.domain is Domain.GPU)
-        locality = self.locality(ctx, pe)
-        local_ss, remote_ss = self._socket_flags(ctx, pe)
-        route = self.selector.select(
-            Op.PUT, config, locality, nbytes,
-            local_same_socket=local_ss, remote_same_socket=remote_ss,
-        )
-        if self.health is not None:
-            route = self._health_reroute(route, ctx, pe)
-        self._count(route)
-        yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
-        dst_ptr = self.resolve(dst, pe)
-        handler = self._PUT_HANDLERS[route.protocol]
-        t0 = self.sim.now
-        yield from handler(self, ctx, route, src, dst, dst_ptr, nbytes, pe)
-        ctx.probe.sample(f"put:{route.protocol.value}", self.sim.now - t0)
+        tracer = self.sim.tracer
+        op_span = None
+        if tracer is not None:
+            op_span = tracer.begin(
+                self.sim, "shmem:put", "shmem", f"pe{ctx.pe}", nbytes=nbytes, target_pe=pe
+            )
+        try:
+            yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
+            config = Config.of(src.kind is MemKind.DEVICE, dst.domain is Domain.GPU)
+            locality = self.locality(ctx, pe)
+            local_ss, remote_ss = self._socket_flags(ctx, pe)
+            route = self.selector.select(
+                Op.PUT, config, locality, nbytes,
+                local_same_socket=local_ss, remote_same_socket=remote_ss,
+            )
+            if self.health is not None:
+                route = self._health_reroute(route, ctx, pe)
+            self._count(route)
+            if tracer is not None:
+                tracer.instant(
+                    self.sim, f"route:{route.protocol.value}", "route", f"pe{ctx.pe}",
+                    **route.span_args(),
+                )
+            yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
+            dst_ptr = self.resolve(dst, pe)
+            handler = self._PUT_HANDLERS[route.protocol]
+            t0 = self.sim.now
+            yield from handler(self, ctx, route, src, dst, dst_ptr, nbytes, pe)
+        finally:
+            if tracer is not None:
+                tracer.end(self.sim, op_span)
+        elapsed = self.sim.now - t0
+        ctx.probe.sample(f"put:{route.protocol.value}", elapsed)
+        ctx.probe.sample(f"pe{ctx.pe}.put:{route.protocol.value}", elapsed)
         return None
 
     # --- copy-based puts (blocking; delivery == return) ----------------
@@ -470,7 +487,13 @@ class Runtime:
         the event to yield on, or ``None`` to take the event path.
         """
         sim = self.sim
-        if not (sim.fastpath and not sim.faults_active and sim.trace is None and sim.quiescent()):
+        if not (
+            sim.fastpath
+            and not sim.faults_active
+            and sim.trace is None
+            and sim.tracer is None
+            and sim.quiescent()
+        ):
             return None
         pool = self.staging[ctx.pe]
         if not pool.idle:
@@ -666,7 +689,13 @@ class Runtime:
         Returns the put-return event, or ``None`` to fall back.
         """
         sim = self.sim
-        if not (sim.fastpath and not sim.faults_active and sim.trace is None and sim.quiescent()):
+        if not (
+            sim.fastpath
+            and not sim.faults_active
+            and sim.trace is None
+            and sim.tracer is None
+            and sim.quiescent()
+        ):
             return None
         pool = self.staging[ctx.pe]
         if not pool.idle:
@@ -874,39 +903,56 @@ class Runtime:
         if nbytes <= 0:
             raise ShmemError(f"getmem of {nbytes} bytes")
         p = self.params
-        yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
-        config = Config.of(dst.kind is MemKind.DEVICE, src.domain is Domain.GPU)
-        locality = self.locality(ctx, pe)
-        local_ss, remote_ss = self._socket_flags(ctx, pe)
-        route = self.selector.select(
-            Op.GET, config, locality, nbytes,
-            local_same_socket=local_ss, remote_same_socket=remote_ss,
-        )
-        if self.health is not None:
-            route = self._health_reroute(route, ctx, pe)
-        self._count(route)
-        yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
-        src_ptr = self.resolve(src, pe)
-        handler = self._GET_HANDLERS[route.protocol]
-        t0 = self.sim.now
-        if self.health is None:
-            yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
-        else:
-            try:
+        tracer = self.sim.tracer
+        op_span = None
+        if tracer is not None:
+            op_span = tracer.begin(
+                self.sim, "shmem:get", "shmem", f"pe{ctx.pe}", nbytes=nbytes, target_pe=pe
+            )
+        try:
+            yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
+            config = Config.of(dst.kind is MemKind.DEVICE, src.domain is Domain.GPU)
+            locality = self.locality(ctx, pe)
+            local_ss, remote_ss = self._socket_flags(ctx, pe)
+            route = self.selector.select(
+                Op.GET, config, locality, nbytes,
+                local_same_socket=local_ss, remote_same_socket=remote_ss,
+            )
+            if self.health is not None:
+                route = self._health_reroute(route, ctx, pe)
+            self._count(route)
+            if tracer is not None:
+                tracer.instant(
+                    self.sim, f"route:{route.protocol.value}", "route", f"pe{ctx.pe}",
+                    **route.span_args(),
+                )
+            yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
+            src_ptr = self.resolve(src, pe)
+            handler = self._GET_HANDLERS[route.protocol]
+            t0 = self.sim.now
+            if self.health is None:
                 yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
-            except (LinkDown, CompletionError):
-                # Reactive failover: gets block, so the caller is still
-                # here — replay the whole range on the fallback path.
-                fallback = self._failover_route(route)
-                if fallback is None or fallback.protocol is route.protocol:
-                    raise
-                self.sim.stats.failovers += 1
-                fallback = self._health_reroute(fallback, ctx, pe)
-                self._count(fallback)
-                route = fallback
-                fb = self._GET_HANDLERS[fallback.protocol]
-                yield from fb(self, ctx, fallback, dst, src, src_ptr, nbytes, pe)
-        ctx.probe.sample(f"get:{route.protocol.value}", self.sim.now - t0)
+            else:
+                try:
+                    yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
+                except (LinkDown, CompletionError):
+                    # Reactive failover: gets block, so the caller is still
+                    # here — replay the whole range on the fallback path.
+                    fallback = self._failover_route(route)
+                    if fallback is None or fallback.protocol is route.protocol:
+                        raise
+                    self.sim.stats.failovers += 1
+                    fallback = self._health_reroute(fallback, ctx, pe)
+                    self._count(fallback)
+                    route = fallback
+                    fb = self._GET_HANDLERS[fallback.protocol]
+                    yield from fb(self, ctx, fallback, dst, src, src_ptr, nbytes, pe)
+        finally:
+            if tracer is not None:
+                tracer.end(self.sim, op_span)
+        elapsed = self.sim.now - t0
+        ctx.probe.sample(f"get:{route.protocol.value}", elapsed)
+        ctx.probe.sample(f"pe{ctx.pe}.get:{route.protocol.value}", elapsed)
         ctx.memory_changed()
         return None
 
@@ -1041,6 +1087,19 @@ class Runtime:
         order per destination in this model, so fence == quiet."""
         yield from self.quiet(ctx)
 
+    # ------------------------------------------------------ span helper
+    def _op_span(self, ctx, name: str, **args):
+        """Open a runtime-level span on PE ``ctx.pe``'s track (or None
+        when no tracer is attached).  Close via ``_end_span``."""
+        tracer = self.sim.tracer
+        if tracer is None:
+            return None
+        return tracer.begin(self.sim, name, "shmem", f"pe{ctx.pe}", **args)
+
+    def _end_span(self, span) -> None:
+        if span is not None:
+            self.sim.tracer.end(self.sim, span)
+
     # ========================================================= atomics
     def _atomic_common(self, ctx, sym: SymAddr, pe: int) -> MemoryRegion:
         """Validate the target and fetch its registered region.  Every
@@ -1052,9 +1111,13 @@ class Runtime:
 
     def atomic_fetch_add(self, ctx, sym: SymAddr, value: int, pe: int, nbytes: int = 8) -> Generator:
         p = self.params
-        yield self.sim.timeout(p.shmem_dispatch_overhead)
-        mr = self._atomic_common(ctx, sym, pe)
-        old = yield from self.verbs.fetch_add(ctx.endpoint, mr, sym.offset, value, nbytes)
+        span = self._op_span(ctx, "shmem:atomic_fetch_add", target_pe=pe, nbytes=nbytes)
+        try:
+            yield self.sim.timeout(p.shmem_dispatch_overhead)
+            mr = self._atomic_common(ctx, sym, pe)
+            old = yield from self.verbs.fetch_add(ctx.endpoint, mr, sym.offset, value, nbytes)
+        finally:
+            self._end_span(span)
         self._notify(pe)
         return old
 
@@ -1062,17 +1125,27 @@ class Runtime:
         self, ctx, sym: SymAddr, compare: int, swap: int, pe: int, nbytes: int = 8
     ) -> Generator:
         p = self.params
-        yield self.sim.timeout(p.shmem_dispatch_overhead)
-        mr = self._atomic_common(ctx, sym, pe)
-        old = yield from self.verbs.compare_swap(ctx.endpoint, mr, sym.offset, compare, swap, nbytes)
+        span = self._op_span(ctx, "shmem:atomic_compare_swap", target_pe=pe, nbytes=nbytes)
+        try:
+            yield self.sim.timeout(p.shmem_dispatch_overhead)
+            mr = self._atomic_common(ctx, sym, pe)
+            old = yield from self.verbs.compare_swap(
+                ctx.endpoint, mr, sym.offset, compare, swap, nbytes
+            )
+        finally:
+            self._end_span(span)
         self._notify(pe)
         return old
 
     def atomic_swap(self, ctx, sym: SymAddr, value: int, pe: int, nbytes: int = 8) -> Generator:
         p = self.params
-        yield self.sim.timeout(p.shmem_dispatch_overhead)
-        mr = self._atomic_common(ctx, sym, pe)
-        old = yield from self.verbs.swap(ctx.endpoint, mr, sym.offset, value, nbytes)
+        span = self._op_span(ctx, "shmem:atomic_swap", target_pe=pe, nbytes=nbytes)
+        try:
+            yield self.sim.timeout(p.shmem_dispatch_overhead)
+            mr = self._atomic_common(ctx, sym, pe)
+            old = yield from self.verbs.swap(ctx.endpoint, mr, sym.offset, value, nbytes)
+        finally:
+            self._end_span(span)
         self._notify(pe)
         return old
 

@@ -111,10 +111,14 @@ def reset_global_stats() -> SimStats:
     """Zero the process-wide counters in place; returns the accumulator.
 
     In place so that ``from ... import GLOBAL_STATS`` references held by
-    other modules keep observing the live tally after a reset.
+    other modules keep observing the live tally after a reset.  Resets
+    through a fresh :class:`SimStats` so each counter keeps its
+    initialized type (``degraded_time`` stays a float) across
+    reset/absorb round-trips.
     """
+    fresh = SimStats()
     for name in SimStats.__slots__:
-        setattr(GLOBAL_STATS, name, 0)
+        setattr(GLOBAL_STATS, name, getattr(fresh, name))
     return GLOBAL_STATS
 
 
@@ -345,6 +349,11 @@ class Simulator:
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self.trace = None  # type: Optional[Any]  # set by monitor.Trace.attach
+        #: Span collector (:class:`repro.obs.spans.SpanTracer`) or None.
+        #: Emission sites across the runtime/ib/hardware layers guard on
+        #: this; like ``trace``, an attached tracer disarms the batched
+        #: fast paths so spans map 1:1 onto event-accurate scheduling.
+        self.tracer = None  # type: Optional[Any]
         self.stats = SimStats()
         self._flushed = SimStats()
         #: Master switch for the batched closed-form transfer paths in

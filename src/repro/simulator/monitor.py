@@ -9,6 +9,7 @@ the runtime to the reporting layer.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -33,14 +34,42 @@ class Trace:
         trace.attach(sim)
         ...
         assert any(r.name == "rdma_write" for r in trace.records)
+
+    The log is bounded by ``limit``: records past it are *counted*, not
+    silently lost — check :attr:`truncated` / :attr:`dropped` before
+    treating the log as complete (the timeline breakdowns do).
     """
 
     def __init__(self, filter: Optional[Callable[[Event], bool]] = None, limit: int = 1_000_000):
         self.records: List[TraceRecord] = []
+        #: Matching events not recorded because ``limit`` was reached.
+        self.dropped = 0
         self._filter = filter
         self._limit = limit
 
     def attach(self, sim: Simulator) -> "Trace":
+        """Start logging ``sim``'s fired events.
+
+        Safe mid-run: process resumptions already queued as fast-path
+        ``(process, value, exc)`` tuples (which bypass the trace hook)
+        are converted to real events on attach, so the trace observes
+        every wake-up from this instant on rather than silently missing
+        the ones in flight.
+        """
+        if sim._ready:
+            converted = deque()
+            for item in sim._ready:
+                if item.__class__ is tuple:
+                    proc, value, exc = item
+                    resume = Event(sim, name=f"{proc.name}:imm")
+                    resume._value = value
+                    resume._exc = exc
+                    resume._triggered = True
+                    resume.callbacks.append(proc._resume)
+                    converted.append(resume)
+                else:
+                    converted.append(item)
+            sim._ready = converted
         sim.trace = self
         return self
 
@@ -48,10 +77,16 @@ class Trace:
         if sim.trace is self:
             sim.trace = None
 
+    @property
+    def truncated(self) -> bool:
+        """True when at least one matching event was dropped."""
+        return self.dropped > 0
+
     def _on_fire(self, now: float, event: Event) -> None:
         if self._filter is not None and not self._filter(event):
             return
         if len(self.records) >= self._limit:
+            self.dropped += 1
             return
         self.records.append(TraceRecord(now, event.name, type(event).__name__))
 
@@ -60,6 +95,7 @@ class Trace:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
 
 
 class Probe:
@@ -68,6 +104,11 @@ class Probe:
     The SHMEM runtimes and applications push samples into probes
     (``probe.sample("put_latency", t)``); the harness reads them back
     as series or summary stats.
+
+    Accessor contract: every statistic (``count``, ``total``, ``mean``,
+    ``median``, ``maximum``) and ``series`` raise :class:`KeyError` for
+    a series that was never sampled — a typo'd name must not read as
+    "zero samples".  Use :meth:`get` for the lenient lookup.
     """
 
     def __init__(self) -> None:
@@ -77,38 +118,43 @@ class Probe:
     def sample(self, series: str, value: float) -> None:
         self._series.setdefault(series, []).append(value)
 
+    def _get(self, name: str) -> List[float]:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise KeyError(f"no samples for series {name!r}") from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """The samples of ``name`` (a copy), or ``default`` when the
+        series was never sampled."""
+        xs = self._series.get(name)
+        return default if xs is None else list(xs)
+
     def series(self, name: str) -> List[float]:
-        return list(self._series.get(name, []))
+        return list(self._get(name))
 
     def names(self) -> List[str]:
         return sorted(self._series)
 
     def count(self, name: str) -> int:
-        return len(self._series.get(name, ()))
+        return len(self._get(name))
 
     def mean(self, name: str) -> float:
-        xs = self._series.get(name)
-        if not xs:
-            raise KeyError(f"no samples for series {name!r}")
+        xs = self._get(name)
         return sum(xs) / len(xs)
 
     def total(self, name: str) -> float:
-        return sum(self._series.get(name, ()))
+        return sum(self._get(name))
 
     def median(self, name: str) -> float:
-        xs = sorted(self._series.get(name, ()))
-        if not xs:
-            raise KeyError(f"no samples for series {name!r}")
+        xs = sorted(self._get(name))
         mid = len(xs) // 2
         if len(xs) % 2:
             return xs[mid]
         return 0.5 * (xs[mid - 1] + xs[mid])
 
     def maximum(self, name: str) -> float:
-        xs = self._series.get(name)
-        if not xs:
-            raise KeyError(f"no samples for series {name!r}")
-        return max(xs)
+        return max(self._get(name))
 
     def clear(self) -> None:
         self._series.clear()

@@ -231,6 +231,48 @@ def test_faulted_sweep_declines_fastpath_and_stays_deterministic():
     assert batches == 0
 
 
+#: Untraced Fig 8 golden runs must batch pipelines on the designs that
+#: have a fast path for the route (enhanced-gdr pipeline put / proxy
+#: get); host-pipeline's inter-node D-D protocol has none.
+GOLDEN_BATCHES_POSITIVE = {
+    ("enhanced-gdr", "put"): True,
+    ("enhanced-gdr", "get"): True,
+    ("host-pipeline", "put"): False,
+    ("host-pipeline", "get"): False,
+}
+
+
+@pytest.mark.parametrize("design,op", sorted(GOLDEN))
+def test_fig8_golden_untraced_keeps_fastpath(design, op):
+    """No tracer, no trace: the batched fast paths stay armed (zero
+    ``fastpath_batches`` regression on the eligible routes)."""
+    job = _golden_job(design)
+    job.run(lat._sweep_program(op, GOLDEN_SIZES, Domain.GPU, Domain.GPU, "far"))
+    assert job.sim.now == GOLDEN[(design, op)]
+    batched = job.sim.stats.fastpath_batches > 0
+    assert batched == GOLDEN_BATCHES_POSITIVE[(design, op)]
+
+
+@pytest.mark.parametrize("design,op", sorted(GOLDEN))
+def test_fig8_golden_with_span_tracer(design, op):
+    """A SpanTracer forces the event-accurate path (batches == 0) yet
+    must not move a single timestamp: the golden end times hold with
+    exact float equality, and every span closes."""
+    from repro.obs import SpanTracer
+
+    job = _golden_job(design)
+    tracer = SpanTracer().attach(job.sim)
+    job.run(lat._sweep_program(op, GOLDEN_SIZES, Domain.GPU, Domain.GPU, "far"))
+    assert job.sim.now == GOLDEN[(design, op)]
+    assert job.sim.stats.fastpath_batches == 0  # tracer disarms the gate
+    assert len(tracer.spans) > 0
+    assert tracer.open_spans() == []
+    assert not tracer.truncated
+    # Every op span sits inside the golden interval.
+    for span in tracer.by_cat("shmem"):
+        assert 0.0 <= span.start <= span.end <= GOLDEN[(design, op)]
+
+
 # ----------------------------------------------------------- satellites
 def test_chunked_rejects_negative_nbytes():
     with pytest.raises(ConfigurationError):

@@ -99,3 +99,66 @@ def test_quick_fig12_renders_improvement():
 def test_quick_table2_and_table3():
     assert "OpenSHMEM" in run_experiment("table2", quick=True)
     assert "intra-socket" in run_experiment("table3", quick=True)
+
+
+# ----------------------------------------------- format robustness
+def test_format_series_ragged_curve_raises_valueerror():
+    with pytest.raises(ValueError, match="series 'b' has 2 values for 3"):
+        format_series("size", {"a": [1.0, 2.0, 3.0], "b": [1.0, 2.0]}, [1, 2, 4])
+
+
+def test_format_series_all_none_curves():
+    out = format_series("size", {"a": None, "b": None}, [1, 2])
+    assert out.count("n/s") == 4
+
+
+def test_format_series_empty_x_values():
+    out = format_series("size", {"a": [], "b": None}, [])
+    assert "size" in out  # headers render; no data rows
+
+
+def test_format_table_empty_rows():
+    out = format_table(["col1", "col2"], [])
+    lines = out.splitlines()
+    assert lines[0].split() == ["col1", "col2"]
+    assert set(lines[1]) == {"-"}
+
+
+def test_event_breakdown_raises_on_truncated_trace():
+    from repro.reporting.timeline import breakdown_table, event_breakdown
+    from repro.simulator import Simulator, Trace
+
+    sim = Simulator()
+    trace = Trace(limit=3).attach(sim)
+
+    def proc(sim):
+        for _ in range(10):
+            yield sim.timeout(0.001, name="rdma_write")
+
+    sim.process(proc(sim))
+    sim.run()
+    assert trace.truncated
+    assert trace.dropped > 0
+    with pytest.raises(ValueError, match="truncated"):
+        event_breakdown(trace)
+    partial = event_breakdown(trace, strict=False)
+    assert sum(e.events for e in partial) <= 3
+    table = breakdown_table(trace)
+    assert "WARNING: trace truncated" in table
+    assert str(trace.dropped) in table
+
+
+def test_breakdown_table_clean_trace_has_no_warning():
+    from repro.reporting.timeline import breakdown_table
+    from repro.simulator import Simulator, Trace
+
+    sim = Simulator()
+    trace = Trace().attach(sim)
+
+    def proc(sim):
+        yield sim.timeout(0.001, name="rdma_write")
+
+    sim.process(proc(sim))
+    sim.run()
+    assert not trace.truncated
+    assert "WARNING" not in breakdown_table(trace)

@@ -275,13 +275,27 @@ def test_probe_statistics():
     assert probe.names() == ["lat"]
 
 
-def test_probe_missing_series():
+def test_probe_missing_series_raises_everywhere():
+    """A typo'd series name must never read as "zero samples": every
+    accessor raises KeyError; ``get`` is the one lenient lookup."""
     probe = Probe()
-    with pytest.raises(KeyError):
-        probe.mean("nope")
-    assert probe.series("nope") == []
-    assert probe.count("nope") == 0
-    assert probe.total("nope") == 0
+    for accessor in (
+        probe.mean, probe.median, probe.maximum,
+        probe.series, probe.count, probe.total,
+    ):
+        with pytest.raises(KeyError, match="nope"):
+            accessor("nope")
+    assert probe.get("nope") is None
+    assert probe.get("nope", []) == []
+
+
+def test_probe_get_returns_a_copy():
+    probe = Probe()
+    probe.sample("lat", 1.0)
+    xs = probe.get("lat")
+    assert xs == [1.0]
+    xs.append(99.0)
+    assert probe.series("lat") == [1.0]
 
 
 def test_all_of_defuses_later_faulting_children():

@@ -292,3 +292,59 @@ def test_active_process_visible_during_step():
     sim.run()
     assert seen == [p]
     assert sim.active_process is None
+
+
+# ------------------------------------------------- global stats hygiene
+def test_reset_global_stats_preserves_counter_types():
+    """Reset must go through a fresh SimStats so ``degraded_time`` stays
+    a float (an int 0 would silently change arithmetic/serialization
+    downstream) and every other counter stays an int."""
+    from repro.simulator.core import GLOBAL_STATS, SimStats, reset_global_stats
+
+    GLOBAL_STATS.degraded_time += 1.25
+    GLOBAL_STATS.scheduled += 7
+    out = reset_global_stats()
+    assert out is GLOBAL_STATS  # in place: held references stay live
+    assert GLOBAL_STATS.degraded_time == 0.0
+    assert isinstance(GLOBAL_STATS.degraded_time, float)
+    for name in SimStats.__slots__:
+        if name == "degraded_time":
+            continue
+        assert getattr(GLOBAL_STATS, name) == 0
+        assert isinstance(getattr(GLOBAL_STATS, name), int)
+
+
+def test_flush_stats_idempotent_after_reset():
+    """flush_stats folds only the delta since the previous flush, and a
+    reset in between must not resurrect already-flushed counters."""
+    from repro.simulator.core import GLOBAL_STATS, reset_global_stats
+
+    reset_global_stats()
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    sim.run()
+    sim.flush_stats()
+    first = GLOBAL_STATS.as_dict()
+    assert first["scheduled"] > 0
+    sim.flush_stats()  # no new work: a second flush adds nothing
+    assert GLOBAL_STATS.as_dict() == first
+    reset_global_stats()
+    sim.flush_stats()  # still no new work: reset must stay clean
+    assert all(v == 0 for v in GLOBAL_STATS.as_dict().values())
+    reset_global_stats()
+
+
+def test_absorb_keeps_degraded_time_float():
+    from repro.simulator.core import SimStats
+
+    a, b = SimStats(), SimStats()
+    b.degraded_time = 0.5
+    b.retries = 3
+    a.absorb(b)
+    assert a.degraded_time == 0.5
+    assert isinstance(a.degraded_time, float)
+    assert a.retries == 3
