@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench check examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+check:
+	PYTHONPATH=src $(PYTHON) -m repro check --seeds 50 --repro-out check-repro.py
+	PYTHONPATH=src $(PYTHON) -m repro check --seeds 10 --seed-start 10000 --faults --repro-out check-repro-faults.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

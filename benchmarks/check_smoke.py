@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Differential-check smoke: sweep seeded workloads through the full
+oracle battery and write a JSON report CI can archive.
+
+Usage:
+    PYTHONPATH=src python benchmarks/check_smoke.py \
+        [--seeds 40] [--fault-seeds 10] [--ops 12] [--output check_smoke.json]
+
+Each seed runs the complete ``repro.check`` battery (fast-path, event,
+and traced executions; nine oracles).  The report records per-seed
+design/topology/timing plus aggregate oracle counts.  On the first
+failing seed the minimised repro command and pytest snippet are written
+next to the report so the failure travels with the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.check import (  # noqa: E402
+    check_workload,
+    generate_workload,
+    shrink_workload,
+    to_pytest_repro,
+)
+from repro.check.shrink import to_cli_command  # noqa: E402
+
+
+def run_seed(seed: int, ops: int, faults: bool) -> dict:
+    w = generate_workload(seed, ops=ops, faults=faults)
+    t0 = time.perf_counter()
+    report = check_workload(w)
+    return {
+        "seed": seed,
+        "faults": faults,
+        "design": w.design,
+        "nodes": w.nodes,
+        "pes_per_node": w.pes_per_node,
+        "ops": w.op_count(),
+        "oracles_run": report.oracles_run,
+        "passed": report.passed,
+        "violations": [f"{v.oracle}: {v.message}" for v in report.violations],
+        "wall_s": round(time.perf_counter() - t0, 3),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seeds", type=int, default=40, help="fault-free seed count")
+    ap.add_argument("--fault-seeds", type=int, default=10, help="faulted seed count")
+    ap.add_argument("--ops", type=int, default=12, help="ops per workload")
+    ap.add_argument("--output", default="check_smoke.json")
+    args = ap.parse_args(argv)
+
+    rows, failed = [], None
+    t0 = time.perf_counter()
+    plan = [(s, False) for s in range(args.seeds)]
+    plan += [(10_000 + s, True) for s in range(args.fault_seeds)]
+    for seed, faults in plan:
+        row = run_seed(seed, args.ops, faults)
+        rows.append(row)
+        if not row["passed"]:
+            failed = (seed, faults)
+            print(f"seed {seed}{' (faults)' if faults else ''}: FAIL")
+            for line in row["violations"]:
+                print(f"  {line}")
+            break
+
+    repro = None
+    if failed is not None:
+        seed, faults = failed
+        w = generate_workload(seed, ops=args.ops, faults=faults)
+        small, evals = shrink_workload(w)
+        repro = {
+            "command": to_cli_command(small),
+            "ops_before": w.op_count(),
+            "ops_after": small.op_count(),
+            "shrink_evals": evals,
+        }
+        repro_path = Path(args.output).with_suffix(".repro.py")
+        repro_path.write_text(to_pytest_repro(small))
+        print(f"minimised repro ({w.op_count()} -> {small.op_count()} ops): "
+              f"{repro['command']}")
+        print(f"pytest repro: {repro_path}")
+
+    oracle_passes = sum(r["oracles_run"] for r in rows if r["passed"])
+    out = {
+        "seeds_run": len(rows),
+        "seeds_passed": sum(r["passed"] for r in rows),
+        "oracle_passes": oracle_passes,
+        "wall_s": round(time.perf_counter() - t0, 2),
+        "repro": repro,
+        "rows": rows,
+    }
+    Path(args.output).write_text(json.dumps(out, indent=2) + "\n")
+    print(
+        f"check smoke: {out['seeds_passed']}/{out['seeds_run']} seeds, "
+        f"{oracle_passes} oracle passes in {out['wall_s']}s -> {args.output}"
+    )
+    return 0 if failed is None else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

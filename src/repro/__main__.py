@@ -7,6 +7,8 @@ Usage::
     python -m repro run table3 --quick   # trimmed sweep
     python -m repro run all --quick      # everything (CI smoke)
     python -m repro trace fig8a          # traced run -> Chrome JSON
+    python -m repro check --seeds 200    # differential correctness sweep
+    python -m repro check --seed 17 --faults   # one seed, fault plan armed
 """
 
 from __future__ import annotations
@@ -34,7 +36,19 @@ def main(argv=None) -> int:
         "-o", "--output", default=None,
         help="output path (default: trace-<experiment>.json)",
     )
+    from repro.check.cli import build_parser as build_check_parser
+
+    build_check_parser(
+        sub.add_parser(
+            "check", help="differential correctness harness (seeded fuzzing + oracles)"
+        )
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "check":
+        from repro.check.cli import main as check_main
+
+        return check_main(parsed=args)
 
     from repro.reporting import EXPERIMENTS, run_experiment
 

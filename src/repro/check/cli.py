@@ -1,0 +1,123 @@
+"""``python -m repro check`` — drive the differential harness.
+
+Single-seed mode reproduces one workload exactly::
+
+    python -m repro check --seed 17 --ops 20 --faults
+
+Sweep mode is the CI backstop (≥ 200 seeds, zero tolerated
+violations)::
+
+    python -m repro check --seeds 200
+    python -m repro check --seeds 50 --faults
+
+On a failure the CLI prints the violations, shrinks the workload to a
+minimal op list, and emits both the reproducing CLI command and a
+pytest-pasteable test (also written to ``--repro-out`` so CI can
+archive it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.units import MiB
+
+
+def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    p = parser or argparse.ArgumentParser(prog="repro check")
+    p.add_argument("--seed", type=int, default=None, help="check exactly one seed")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="sweep seeds [--seed-start, --seed-start + N) (default 20)")
+    p.add_argument("--seed-start", type=int, default=0)
+    p.add_argument("--ops", type=int, default=14, help="target op count per workload")
+    p.add_argument("--faults", action="store_true", help="arm the seeded fault plan")
+    p.add_argument("--design", choices=["naive", "host-pipeline", "enhanced-gdr"],
+                   default=None, help="pin the runtime design (default: seeded draw)")
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--pes-per-node", type=int, default=None)
+    p.add_argument("--max-bytes", type=int, default=4 * MiB,
+                   help="largest generated transfer (default 4 MiB)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimising them")
+    p.add_argument("--repro-out", default=None,
+                   help="write the minimised pytest repro to this file on failure")
+    p.add_argument("--corrupt-uid", type=int, default=None,
+                   help="flip one byte after op UID completes (harness self-test)")
+    p.add_argument("-q", "--quiet", action="store_true", help="only print the summary")
+    return p
+
+
+def _fail_and_report(args, w, report) -> None:
+    from repro.check.oracles import check_workload
+    from repro.check.shrink import shrink_workload, to_cli_command, to_pytest_repro
+
+    print(report.summary())
+    repro_cmd = to_cli_command(w) + f" --ops {args.ops} --max-bytes {args.max_bytes}"
+    if args.corrupt_uid is not None:
+        repro_cmd += f" --corrupt-uid {args.corrupt_uid}"
+    print(f"reproduce with: {repro_cmd}")
+    if not args.no_shrink:
+        predicate = lambda wl: not check_workload(
+            wl, corrupt_uid=args.corrupt_uid, modes=False
+        ).passed
+        try:
+            small, evals = shrink_workload(w, failing=predicate)
+            print(f"shrunk {w.op_count()} -> {small.op_count()} ops ({evals} evaluations)")
+        except ValueError:
+            # Mode-dependent failure (bit-identity/tracing): shrink
+            # under the full battery instead.
+            predicate = lambda wl: not check_workload(
+                wl, corrupt_uid=args.corrupt_uid
+            ).passed
+            small, evals = shrink_workload(w, failing=predicate, max_evals=60)
+            print(f"shrunk {w.op_count()} -> {small.op_count()} ops ({evals} evaluations)")
+        repro = to_pytest_repro(small)
+        print("pytest repro:\n" + repro)
+        if args.repro_out:
+            with open(args.repro_out, "w") as fh:
+                fh.write(f"# {repro_cmd}\n{repro}")
+            print(f"repro written to {args.repro_out}")
+
+
+def main(argv=None, parsed=None) -> int:
+    from repro.check.oracles import check_workload
+    from repro.check.workload import generate_workload
+
+    args = parsed if parsed is not None else build_parser().parse_args(argv)
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    checked = oracles = 0
+    t0 = time.monotonic()
+    for seed in seeds:
+        w = generate_workload(
+            seed,
+            ops=args.ops,
+            design=args.design,
+            faults=args.faults,
+            max_nbytes=args.max_bytes,
+            nodes=args.nodes,
+            pes_per_node=args.pes_per_node,
+        )
+        report = check_workload(w, corrupt_uid=args.corrupt_uid)
+        checked += 1
+        oracles += report.oracles_run
+        if not report.passed:
+            _fail_and_report(args, w, report)
+            return 1
+        if not args.quiet:
+            print(report.summary())
+    dt = time.monotonic() - t0
+    print(
+        f"check: {checked} seed(s), {oracles} oracle passes, "
+        f"0 violations ({dt:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

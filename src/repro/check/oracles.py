@@ -1,0 +1,256 @@
+"""Invariant checkers over real executions of generated workloads.
+
+``check_workload`` runs one workload through the three execution modes
+under test — batched fast path, forced event-accurate path, and traced
+event path — and applies every oracle:
+
+1. **heap-matches-reference** — final symmetric-heap bytes, fetched
+   get results and atomic return values equal the untimed reference
+   executor's, in every mode.
+2. **event/fast bit-identity** — exact float equality of end times,
+   per-op probe samples, protocol counts and per-link byte counters
+   between the fast-path and event-path runs (the property the
+   fastpath goldens pin for two shapes, here checked per seed).
+3. **traced/untraced bit-identity** — attaching the span tracer must
+   not move a single timestamp or byte.
+4. **span/event parity** — one ``rdma_write`` span per ``rdma_write``
+   scheduler event, and no span left open at exit.
+5. **link conservation** — per-link counters internally consistent
+   with the :class:`~repro.obs.metrics.MetricsSnapshot` bandwidth
+   figures, and HCA port bytes cover the workload's inter-node
+   payload lower bound.
+6. **atomic conservation** — final atoms-buffer words equal the
+   reference sums exactly; under a fault plan this proves retries
+   never double-applied an atomic or a payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.check.reference import ReferenceResult, execute_reference
+from repro.check.runner import RunObservation, run_workload
+from repro.check.workload import Workload
+
+#: Snapshot sections that must be bit-identical across execution modes.
+#: ``engine.*`` is excluded on purpose (fastpath_batches etc. *should*
+#: differ between modes); ``spans.*`` exists only on traced runs.
+_IDENTITY_SECTIONS = ("job", "link", "probe", "protocol", "health", "faults")
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one workload through all oracles."""
+
+    workload: Workload
+    violations: List[OracleViolation] = field(default_factory=list)
+    oracles_run: int = 0
+    runs: Dict[str, RunObservation] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        w = self.workload
+        head = (
+            f"seed {w.seed} design={w.design} {w.nodes}x{w.pes_per_node}PE "
+            f"ops={w.op_count()} faults={w.faults}: "
+        )
+        if self.passed:
+            return head + f"OK ({self.oracles_run} oracles)"
+        return head + f"{len(self.violations)} violation(s)\n" + "\n".join(
+            f"  {v}" for v in self.violations
+        )
+
+
+def _fail(report: CheckReport, oracle: str, message: str) -> None:
+    report.violations.append(OracleViolation(oracle, message))
+
+
+# ------------------------------------------------------------- oracle 1/6
+def oracle_heap_matches_reference(
+    report: CheckReport, ref: ReferenceResult, obs: RunObservation
+) -> None:
+    for (pe, name), expected in sorted(ref.heaps.items()):
+        actual = obs.heaps.get((pe, name))
+        if actual == expected:
+            continue
+        if actual is None:
+            _fail(report, "heap", f"{obs.mode}: no read-back for pe{pe}/{name}")
+            continue
+        a = np.frombuffer(actual, dtype=np.uint8)
+        e = np.frombuffer(expected, dtype=np.uint8)
+        bad = np.nonzero(a != e)[0]
+        _fail(
+            report, "heap",
+            f"{obs.mode}: pe{pe}/{name} diverges at {len(bad)} byte(s), "
+            f"first at offset {int(bad[0])} "
+            f"(got 0x{int(a[bad[0]]):02x}, want 0x{int(e[bad[0]]):02x})",
+        )
+    for uid, expected in sorted(ref.gets.items()):
+        actual = obs.gets.get(uid)
+        if actual != expected:
+            got = "missing" if actual is None else f"{len(actual)} bytes, wrong content"
+            _fail(report, "heap", f"{obs.mode}: get op #{uid} fetched {got}")
+    for uid, expected in sorted(ref.atomics.items()):
+        actual = obs.atomics.get(uid)
+        if actual != expected:
+            _fail(
+                report, "heap",
+                f"{obs.mode}: atomic op #{uid} returned {actual}, want {expected}",
+            )
+
+
+def oracle_atomic_conservation(
+    report: CheckReport, ref: ReferenceResult, obs: RunObservation
+) -> None:
+    """Exact atoms-word equality, word by word (clearer diagnostics
+    than the byte-level heap diff when a retry double-applies)."""
+    w = report.workload
+    for (pe, word), expected in sorted(ref.atom_words.items()):
+        raw = obs.heaps.get((pe, "atoms"))
+        if raw is None:
+            continue  # the heap oracle already reported it
+        actual = int(np.frombuffer(raw, dtype=np.uint64)[word])
+        if actual != expected & (2**64 - 1):
+            _fail(
+                report, "atomic-conservation",
+                f"{obs.mode}: atoms word {word} on pe{pe} is {actual}, "
+                f"want {expected & (2**64 - 1)}"
+                + (" (double-applied retry?)" if w.faults else ""),
+            )
+
+
+# ------------------------------------------------------------- oracle 2/3
+def oracle_bit_identity(
+    report: CheckReport, a: RunObservation, b: RunObservation, oracle: str
+) -> None:
+    if a.elapsed != b.elapsed:
+        _fail(
+            report, oracle,
+            f"elapsed diverges: {a.mode}={a.elapsed!r} vs {b.mode}={b.elapsed!r}",
+        )
+    if a.start_time != b.start_time:
+        _fail(
+            report, oracle,
+            f"start_time diverges: {a.start_time!r} vs {b.start_time!r}",
+        )
+    if a.protocol_counts != b.protocol_counts:
+        _fail(
+            report, oracle,
+            f"protocol counts diverge: {a.protocol_counts} vs {b.protocol_counts}",
+        )
+    if a.probe_series != b.probe_series:
+        keys = sorted(set(a.probe_series) ^ set(b.probe_series))
+        if keys:
+            _fail(report, oracle, f"probe series present in only one mode: {keys}")
+        else:
+            diff = [
+                k for k in a.probe_series if a.probe_series[k] != b.probe_series[k]
+            ]
+            _fail(report, oracle, f"probe samples diverge (not bit-identical): {diff}")
+    for section in _IDENTITY_SECTIONS:
+        sa, sb = a.snapshot_section(section), b.snapshot_section(section)
+        if sa != sb:
+            keys = [k for k in set(sa) | set(sb) if sa.get(k) != sb.get(k)]
+            _fail(
+                report, oracle,
+                f"snapshot section {section!r} diverges at {sorted(keys)[:6]}",
+            )
+    if a.heaps != b.heaps:
+        cells = [f"pe{pe}/{name}" for (pe, name) in a.heaps if a.heaps[pe, name] != b.heaps.get((pe, name))]
+        _fail(report, oracle, f"final heap bytes diverge between modes: {cells[:6]}")
+
+
+# --------------------------------------------------------------- oracle 4
+def oracle_span_event_parity(report: CheckReport, traced: RunObservation) -> None:
+    if traced.span_rdma_writes != traced.event_rdma_writes:
+        _fail(
+            report, "span-parity",
+            f"{traced.span_rdma_writes} rdma_write spans vs "
+            f"{traced.event_rdma_writes} rdma_write scheduler events",
+        )
+    if traced.open_spans:
+        _fail(report, "span-parity", f"{traced.open_spans} span(s) left open at exit")
+
+
+# --------------------------------------------------------------- oracle 5
+def oracle_link_conservation(report: CheckReport, obs: RunObservation) -> None:
+    elapsed = obs.snapshot.get("job.elapsed")
+    links = {}
+    for key, value in obs.snapshot.items():
+        if key.startswith("link."):
+            name, stat = key[5:].rsplit(".", 1)
+            links.setdefault(name, {})[stat] = value
+    for name, stats in sorted(links.items()):
+        nbytes, transfers = stats.get("bytes", 0), stats.get("transfers", 0)
+        if nbytes < 0 or transfers <= 0:
+            _fail(
+                report, "link-conservation",
+                f"{obs.mode}: link {name} has bytes={nbytes} transfers={transfers}",
+            )
+        want = nbytes / elapsed / 1e6 if elapsed > 0 else 0.0
+        if stats.get("avg_mbps") != want:
+            _fail(
+                report, "link-conservation",
+                f"{obs.mode}: link {name} avg_mbps inconsistent with bytes/elapsed",
+            )
+    bound = report.workload.internode_payload_bytes()
+    if bound:
+        port_bytes = sum(
+            stats.get("bytes", 0) for name, stats in links.items() if ".port:" in name
+        )
+        if port_bytes < bound:
+            _fail(
+                report, "link-conservation",
+                f"{obs.mode}: HCA ports moved {port_bytes} B < inter-node "
+                f"payload lower bound {bound} B",
+            )
+
+
+# ------------------------------------------------------------------ entry
+def check_workload(
+    w: Workload,
+    *,
+    corrupt_uid: Optional[int] = None,
+    modes: bool = True,
+) -> CheckReport:
+    """Run every oracle over ``w``; ``corrupt_uid`` threads the
+    deliberate-divergence hook through to the runner (harness
+    self-test).  ``modes=False`` runs only the fast-path run and the
+    reference comparison (the shrinker uses it to keep minimisation
+    cheap when the failure is mode-independent)."""
+    report = CheckReport(workload=w)
+    ref = execute_reference(w)
+    base = run_workload(w, corrupt_uid=corrupt_uid)
+    report.runs["fast"] = base
+    oracle_heap_matches_reference(report, ref, base)
+    oracle_atomic_conservation(report, ref, base)
+    oracle_link_conservation(report, base)
+    report.oracles_run += 3
+    if modes:
+        event = run_workload(w, fastpath=False, corrupt_uid=corrupt_uid)
+        traced = run_workload(w, trace=True, corrupt_uid=corrupt_uid)
+        report.runs["event"] = event
+        report.runs["traced"] = traced
+        oracle_heap_matches_reference(report, ref, event)
+        oracle_heap_matches_reference(report, ref, traced)
+        oracle_atomic_conservation(report, ref, event)
+        oracle_bit_identity(report, base, event, "fast-vs-event")
+        oracle_bit_identity(report, base, traced, "traced-vs-untraced")
+        oracle_span_event_parity(report, traced)
+        report.oracles_run += 6
+    return report

@@ -1,0 +1,275 @@
+"""Execute a generated workload on a real simulated SHMEM job.
+
+``run_workload`` turns a declarative :class:`~repro.check.workload.
+Workload` into an SPMD generator program, runs it on a fresh
+:class:`~repro.shmem.job.ShmemJob`, and reads the final symmetric-heap
+bytes back through the runtime's untimed read-back hooks.  The
+resulting :class:`RunObservation` carries everything the oracles
+compare: heap bytes, fetched get/atomic values, exact virtual end
+times, protocol counts, probe series, per-link byte counters, and the
+full :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+A run can be steered into any of the three execution modes under test:
+``fastpath=False`` forces the event-accurate path, ``trace=True``
+attaches a :class:`~repro.obs.spans.SpanTracer` plus an event
+:class:`~repro.simulator.monitor.Trace` (which also disarms the fast
+paths), and ``Workload.faults`` arms a survivable seeded fault plan.
+
+``corrupt_uid`` is the harness' self-test hook: after the program
+body finishes, the PE that executed that op flips one byte of the
+op's destination cell — a deliberate divergence the heap oracle must
+catch and the shrinker must minimise to that single op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.check.reference import coll_fill, coll_fill_int64, payload
+from repro.check.workload import Workload
+from repro.hardware.params import wilkes_params
+from repro.shmem.constants import Domain
+from repro.shmem.job import ShmemJob
+from repro.units import usec
+
+#: Tight retry/health budget for fault runs (the chaos-test idiom):
+#: fault windows resolve within a few retries instead of default
+#: multi-millisecond timeouts.
+FAULT_PARAMS = dict(rc_timeout=usec(5), rc_retry_cnt=3, health_cooldown=usec(200))
+
+_COLLECTIVES = ("bcast", "reduce", "fcollect", "alltoall")
+
+
+@dataclass
+class RunObservation:
+    """Everything the oracles need from one finished run."""
+
+    workload: Workload
+    mode: str
+    heaps: Dict[Tuple[int, str], bytes] = field(default_factory=dict)
+    gets: Dict[int, bytes] = field(default_factory=dict)
+    atomics: Dict[int, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+    start_time: float = 0.0
+    protocol_counts: Dict[str, int] = field(default_factory=dict)
+    probe_series: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    #: Span/event tallies (only filled for ``trace=True`` runs).
+    span_rdma_writes: int = -1
+    event_rdma_writes: int = -1
+    open_spans: int = -1
+    spans_total: int = -1
+
+    def snapshot_section(self, prefix: str) -> Dict[str, Any]:
+        cut = len(prefix) + 1
+        return {
+            k[cut:]: v for k, v in self.snapshot.items() if k.startswith(prefix + ".")
+        }
+
+
+def _job_for(w: Workload, fault_plan=None) -> ShmemJob:
+    from repro.hardware.node import NodeConfig
+
+    params = wilkes_params(**FAULT_PARAMS) if w.faults else None
+    node = NodeConfig(gpus=max(2, w.pes_per_node))
+    return ShmemJob(
+        nodes=w.nodes,
+        design=w.design,
+        params=params,
+        node_config=node,
+        pes_per_node=w.pes_per_node,
+        fault_plan=fault_plan,
+    )
+
+
+def _measure_start(w: Workload) -> float:
+    """Virtual time at which programs leave init (probe-job idiom), so
+    fault windows can be scheduled inside the program phase."""
+
+    def empty(ctx):
+        yield from ctx.barrier_all()
+
+    return _job_for(w).run(empty).start_time
+
+
+def _fault_plan(w: Workload, start: float):
+    """A survivable, seed-deterministic plan: GDR-path flaps (scoped to
+    the ``gdrP2P`` label so host-staged fallbacks stay up), an HCA
+    stall, and a CQ error burst.  Every design must complete through
+    retry + failover — the oracles then prove nothing double-applied."""
+    from repro.faults.plan import FaultPlan
+
+    return (
+        FaultPlan(seed=w.seed)
+        .random_gdr_flaps(2, window=usec(400), down_for=usec(40), start=start + usec(5))
+        .stall_hca(at=start + usec(60), duration=usec(50))
+        .cq_error_burst(at=start + usec(10), duration=usec(300), max_errors=2)
+    )
+
+
+# --------------------------------------------------------------- program
+def _run_p2p(w: Workload, ctx, bufs, op, out):
+    sym = bufs.get(op.buf)
+    if op.kind == "fence":
+        yield from ctx.fence()
+    elif op.kind in ("put", "put_nbi"):
+        alloc = ctx.cuda.malloc if op.local_device else ctx.cuda.malloc_host
+        src = alloc(op.nbytes, tag=f"op{op.uid}.src")
+        src.write(payload(w.seed, op.uid, op.nbytes))
+        if op.kind == "put_nbi":
+            # Non-blocking: returns immediately, completed by the
+            # round-closing quiet (the source is never reused).
+            ctx.putmem_nbi(sym.addr + op.offset, src, op.nbytes, op.target)
+        else:
+            yield from ctx.putmem(sym.addr + op.offset, src, op.nbytes, op.target)
+    elif op.kind == "get":
+        alloc = ctx.cuda.malloc if op.local_device else ctx.cuda.malloc_host
+        dst = alloc(op.nbytes, tag=f"op{op.uid}.dst")
+        yield from ctx.getmem(dst, sym.addr + op.offset, op.nbytes, op.target)
+        out["gets"][op.uid] = dst.read(op.nbytes)
+    elif op.kind == "put_u64":
+        yield from ctx.put_uint64(sym.addr + op.offset, op.value, op.target)
+    elif op.kind == "fadd":
+        old = yield from ctx.atomic_fetch_add(sym.addr + op.offset, op.value, op.target)
+        out["atomics"][op.uid] = int(old)
+    elif op.kind == "swap":
+        old = yield from ctx.atomic_swap(sym.addr + op.offset, op.value, op.target)
+        out["atomics"][op.uid] = int(old)
+    elif op.kind == "cswap":
+        old = yield from ctx.atomic_compare_swap(
+            sym.addr + op.offset, op.compare, op.value, op.target
+        )
+        out["atomics"][op.uid] = int(old)
+    elif op.kind == "aset":
+        yield from ctx.atomic_set(sym.addr + op.offset, op.value, op.target)
+    elif op.kind == "afetch":
+        old = yield from ctx.atomic_fetch(sym.addr + op.offset, op.target)
+        out["atomics"][op.uid] = int(old)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown p2p op kind {op.kind!r}")
+
+
+def _run_collective(w: Workload, ctx, bufs, op):
+    csrc, cdst = bufs["csrc"], bufs["cdst"]
+    if op.kind == "bcast":
+        cdst.local.write(coll_fill(w.seed, op.uid, ctx.pe, op.nbytes))
+        yield from ctx.barrier_all()  # fills before the root's sends
+        yield from ctx.broadcast(cdst, op.nbytes, root=op.root)
+    elif op.kind == "reduce":
+        count = op.nbytes // 8
+        csrc.local.write(coll_fill_int64(w.seed, op.uid, ctx.pe, count).tobytes())
+        yield from ctx.barrier_all()
+        yield from ctx.reduce(cdst, csrc, count, dtype="int64", op="sum")
+    elif op.kind == "fcollect":
+        csrc.local.write(coll_fill(w.seed, op.uid, ctx.pe, op.nbytes))
+        yield from ctx.barrier_all()
+        yield from ctx.fcollect(cdst, csrc, op.nbytes)
+    elif op.kind == "alltoall":
+        csrc.local.write(coll_fill(w.seed, op.uid, ctx.pe, w.npes * op.nbytes))
+        yield from ctx.barrier_all()
+        yield from ctx.alltoall(cdst, csrc, op.nbytes)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown collective {op.kind!r}")
+
+
+def _run_lock_round(w: Workload, ctx, bufs, op):
+    if ctx.pe not in op.parts:
+        return
+    atoms = bufs["atoms"]
+    home = op.target
+    lock = atoms.addr + op.value * 8
+    counter = atoms.addr + op.offset
+    tmp = ctx.cuda.malloc_host(8, tag=f"op{op.uid}.ctr")
+    yield from ctx.set_lock(lock, home=home)
+    yield from ctx.getmem(tmp, counter, 8, home)
+    current = int.from_bytes(tmp.read(8), "little")
+    yield from ctx.put_uint64(counter, current + 1, home)
+    yield from ctx.quiet()  # counter lands before the lock releases
+    yield from ctx.clear_lock(lock, home=home)
+
+
+def _make_program(w: Workload, corrupt_uid: Optional[int]):
+    def program(ctx):
+        out = {"gets": {}, "atomics": {}, "offsets": {}}
+        bufs = {}
+        for spec in w.buffers:
+            sym = yield from ctx.shmalloc(spec.size, domain=Domain(spec.domain))
+            bufs[spec.name] = sym
+            out["offsets"][spec.name] = sym.addr.offset
+        yield from ctx.barrier_all()
+        corrupt = None
+        for rnd in w.rounds:
+            head = rnd[0].kind
+            if head in _COLLECTIVES:
+                yield from _run_collective(w, ctx, bufs, rnd[0])
+            elif head == "lock_inc":
+                yield from _run_lock_round(w, ctx, bufs, rnd[0])
+            else:
+                for op in rnd:
+                    if op.pe != ctx.pe:
+                        continue
+                    yield from _run_p2p(w, ctx, bufs, op, out)
+                    if op.uid == corrupt_uid:
+                        corrupt = op
+                yield from ctx.quiet()
+            yield from ctx.barrier_all()
+        if corrupt is not None and corrupt.buf:
+            # Deliberate divergence (harness self-test): flip one byte
+            # of the op's destination cell after all rounds settle.
+            sym = bufs[corrupt.buf]
+            ptr = ctx.runtime.resolve(sym.addr + corrupt.offset, corrupt.target)
+            ptr.write(bytes([ptr.read(1)[0] ^ 0x5A]))
+        return out
+
+    return program
+
+
+# ------------------------------------------------------------------ entry
+def run_workload(
+    w: Workload,
+    *,
+    fastpath: bool = True,
+    trace: bool = False,
+    corrupt_uid: Optional[int] = None,
+) -> RunObservation:
+    """Run ``w`` once and observe everything the oracles compare."""
+    from repro.obs.metrics import snapshot_job
+    from repro.obs.spans import SpanTracer
+    from repro.simulator.monitor import Trace
+
+    plan = _fault_plan(w, _measure_start(w)) if w.faults else None
+    job = _job_for(w, fault_plan=plan)
+    job.sim.fastpath = fastpath
+    tracer = event_trace = None
+    if trace:
+        tracer = SpanTracer().attach(job.sim, label=f"check seed {w.seed}")
+        event_trace = Trace(filter=lambda ev: ev.name == "rdma_write").attach(job.sim)
+    res = job.run(_make_program(w, corrupt_uid))
+
+    mode = "traced" if trace else ("fast" if fastpath else "event")
+    obs = RunObservation(workload=w, mode=mode)
+    obs.elapsed = res.elapsed
+    obs.start_time = res.start_time
+    offsets = res.results[0]["offsets"]
+    for pe in range(w.npes):
+        for spec in w.buffers:
+            obs.heaps[(pe, spec.name)] = job.runtime.heap_read_back(
+                pe, Domain(spec.domain), offsets[spec.name], spec.size
+            )
+        obs.gets.update(res.results[pe]["gets"])
+        obs.atomics.update(res.results[pe]["atomics"])
+    obs.protocol_counts = {p.value: c for p, c in job.runtime.protocol_counts.items()}
+    obs.probe_series = {n: tuple(job.probe.series(n)) for n in job.probe.names()}
+    obs.stats = job.sim.stats.as_dict()
+    obs.snapshot = snapshot_job(job).as_dict()
+    if trace:
+        obs.span_rdma_writes = sum(
+            1 for s in tracer.by_name("rdma_write") if s.cat == "ib"
+        )
+        obs.event_rdma_writes = len(event_trace.records)
+        obs.open_spans = len(tracer.open_spans())
+        obs.spans_total = len(tracer.spans)
+        tracer.detach(job.sim)
+    return obs

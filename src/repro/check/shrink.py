@@ -1,0 +1,117 @@
+"""Delta-debugging shrinker for failing workloads.
+
+Given a workload that fails some predicate (by default: any oracle
+violation), remove as many operations as possible while the failure
+persists — classic ddmin over the flattened op list, with the round
+structure preserved (empty rounds vanish) and unreferenced buffers
+pruned afterwards.
+
+Removing ops can never *invalidate* a workload: the reference executor
+recomputes expectations from whatever ops remain, allocations are part
+of the buffer table (not the op list), and the round rules are only
+relaxed by removal.  That is what lets the shrinker be a dumb list
+minimiser instead of a semantic one.
+
+``to_pytest_repro`` renders the minimised workload as a paste-ready
+pytest test — every workload field is a plain literal, so ``repr``
+round-trips through the imported dataclass names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Set, Tuple
+
+from repro.check.workload import Workload
+
+#: Buffers each op kind touches (beyond ``op.buf``); used to prune the
+#: buffer table after shrinking.
+_KIND_BUFFERS = {
+    "bcast": ("cdst",),
+    "reduce": ("csrc", "cdst"),
+    "fcollect": ("csrc", "cdst"),
+    "alltoall": ("csrc", "cdst"),
+    "lock_inc": ("atoms",),
+}
+
+
+def _rebuild(w: Workload, keep: Set[int]) -> Workload:
+    rounds = [
+        tuple(op for op in rnd if op.uid in keep) for rnd in w.rounds
+    ]
+    return w.with_rounds(rounds)
+
+
+def _prune_buffers(w: Workload) -> Workload:
+    needed = set()
+    for op in w.all_ops():
+        if op.buf:
+            needed.add(op.buf)
+        needed.update(_KIND_BUFFERS.get(op.kind, ()))
+    buffers = tuple(b for b in w.buffers if b.name in needed)
+    return replace(w, buffers=buffers)
+
+
+def shrink_workload(
+    w: Workload,
+    failing: Optional[Callable[[Workload], bool]] = None,
+    max_evals: int = 200,
+) -> Tuple[Workload, int]:
+    """Minimise ``w`` under ``failing`` (must hold for ``w`` itself).
+
+    Returns ``(minimised workload, predicate evaluations used)``.  The
+    default predicate is the full oracle battery; pass a cheaper one
+    (e.g. fast-path + reference only) to shrink big workloads faster.
+    """
+    if failing is None:
+        from repro.check.oracles import check_workload
+
+        failing = lambda wl: not check_workload(wl, modes=False).passed
+    if not failing(w):
+        raise ValueError("shrink_workload needs a workload that already fails")
+    evals = 1
+    uids = [op.uid for op in w.all_ops()]
+    chunk = max(1, len(uids) // 2)
+    while chunk >= 1 and evals < max_evals:
+        removed_any = False
+        i = 0
+        while i < len(uids) and evals < max_evals:
+            trial = uids[:i] + uids[i + chunk :]
+            if trial and len(trial) < len(uids):
+                evals += 1
+                if failing(_rebuild(w, set(trial))):
+                    uids = trial
+                    removed_any = True
+                    continue  # retry the same position at this size
+            i += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return _prune_buffers(_rebuild(w, set(uids))), evals
+
+
+def to_cli_command(w: Workload) -> str:
+    """The ``python -m repro check`` invocation reproducing the
+    *original* seed (the generator is deterministic in these flags)."""
+    cmd = (
+        f"python -m repro check --seed {w.seed} --design {w.design} "
+        f"--nodes {w.nodes} --pes-per-node {w.pes_per_node}"
+    )
+    if w.faults:
+        cmd += " --faults"
+    return cmd
+
+
+def to_pytest_repro(w: Workload, name: Optional[str] = None) -> str:
+    """A self-contained pytest test reproducing ``w`` exactly."""
+    name = name or f"test_check_repro_seed{w.seed}"
+    return (
+        "from repro.check import BufSpec, WOp, Workload, check_workload\n"
+        "\n"
+        "\n"
+        f"def {name}():\n"
+        f"    w = {w!r}\n"
+        "    report = check_workload(w)\n"
+        "    assert report.passed, report.summary()\n"
+    )

@@ -1,0 +1,401 @@
+"""Seeded random SHMEM workload generator.
+
+A :class:`Workload` is a declarative program: a buffer table plus a
+sequence of *rounds*, each round a tuple of :class:`WOp` records.  The
+runner (:mod:`repro.check.runner`) executes it on a real
+:class:`~repro.shmem.job.ShmemJob`; the reference executor
+(:mod:`repro.check.reference`) computes the expected outcome without a
+simulator.  Both consume the same structure, which is what makes the
+comparison differential rather than golden-based.
+
+Validity by construction
+------------------------
+Random one-sided programs are only checkable when their data races are
+designed out, so the generator enforces:
+
+- **Rounds are epochs.**  Every PE drains (``quiet``) and barriers at
+  the end of each round, so cross-round order is total.
+- **Single writer per slot per round.**  Data buffers are carved into
+  fixed slots; a ``(buffer, owner PE, slot)`` cell is touched by at
+  most one op per round (reads reserve cells too), so intra-round
+  concurrency is conflict-free.
+- **Atomics are word-granular and commutative.**  ``fetch_add`` may
+  hit one word from many PEs in a round (the sum is order-free);
+  ``swap``/``cswap``/``set`` get exclusive words.
+- **Only supported configurations.**  The op stream respects the
+  design capability table (naive: host H-H only; host-pipeline: no
+  inter-node H-D/D-H), so every generated program must *run*, not
+  merely fail gracefully.
+- **Reductions are int64.**  Integer sums are associative, so the
+  reference is exact regardless of which collective algorithm the
+  runtime picks.
+
+Every field of every record is a plain literal, so ``repr(workload)``
+round-trips through ``eval`` — the property the shrinker's
+pytest-pasteable repro output relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.units import KiB, MiB
+
+DESIGNS = ("naive", "host-pipeline", "enhanced-gdr")
+
+#: (nodes, pes_per_node) shapes the generator draws from; 2-8 PEs.
+TOPOLOGIES = ((1, 2), (1, 4), (2, 1), (2, 2), (2, 3), (2, 4))
+
+#: Inclusive byte-size classes with draw weights (small sizes dominate
+#: so a run exercises many ops; the tail still reaches 4 MiB).
+SIZE_CLASSES = (
+    ((8, 64), 30),
+    ((65, 4 * KiB), 28),
+    ((4 * KiB + 1, 64 * KiB), 27),
+    ((64 * KiB + 1, 1 * MiB), 10),
+    ((1 * MiB + 1, 4 * MiB), 5),
+)
+
+#: Slot width of the small data buffers; ops above it use a "big"
+#: single-slot buffer.
+SLOT_BYTES = 64 * KiB
+BIG_BYTES = 4 * MiB
+
+#: The atoms buffer: 8-byte words.  Words [0, LOCK_WORDS) are reserved
+#: for lock/counter pairs; atomic ops draw from the rest.
+ATOM_WORDS = 256
+LOCK_WORDS = 16
+
+#: Collective buffers (csrc/cdst) hold npes blocks of up to this many
+#: bytes each.
+COLL_BLOCK = 1 * KiB
+
+P2P_KINDS = (
+    ("put", 26),
+    ("get", 18),
+    ("put_nbi", 10),
+    ("put_u64", 8),
+    ("fadd", 14),
+    ("swap", 5),
+    ("cswap", 5),
+    ("aset", 4),
+    ("afetch", 4),
+    ("fence", 6),
+)
+
+COLLECTIVE_KINDS = ("bcast", "reduce", "fcollect", "alltoall")
+
+
+@dataclass(frozen=True)
+class BufSpec:
+    """One symmetric buffer every PE allocates (collectively, in table
+    order — so offsets agree across PEs and with the reference)."""
+
+    name: str
+    domain: str  # "host" | "gpu"
+    size: int
+    slot_bytes: int
+
+
+@dataclass(frozen=True)
+class WOp:
+    """One generated operation.  Which fields matter depends on
+    ``kind``; unused ones keep their defaults so ``repr`` stays short
+    enough to paste."""
+
+    uid: int
+    kind: str
+    pe: int = 0
+    target: int = 0
+    buf: str = ""
+    slot: int = 0
+    nbytes: int = 0
+    value: int = 0
+    compare: int = 0
+    local_device: bool = False
+    root: int = 0
+    parts: Tuple[int, ...] = ()
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of this op's cell within its buffer."""
+        if self.kind in ("fadd", "swap", "cswap", "aset", "afetch", "lock_inc"):
+            return self.slot * 8
+        return self.slot * SLOT_BYTES if self.buf in ("hbuf", "gbuf") else 0
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete generated program plus the cluster shape it runs on."""
+
+    seed: int
+    design: str
+    nodes: int
+    pes_per_node: int
+    buffers: Tuple[BufSpec, ...] = ()
+    rounds: Tuple[Tuple[WOp, ...], ...] = ()
+    faults: bool = False
+
+    @property
+    def npes(self) -> int:
+        return self.nodes * self.pes_per_node
+
+    def node_of(self, pe: int) -> int:
+        return pe // self.pes_per_node
+
+    def all_ops(self) -> List[WOp]:
+        return [op for rnd in self.rounds for op in rnd]
+
+    def op_count(self) -> int:
+        return len(self.all_ops())
+
+    def buffer(self, name: str) -> BufSpec:
+        for spec in self.buffers:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def internode_payload_bytes(self) -> int:
+        """Lower bound on payload bytes that must cross the IB fabric
+        (data ops between PEs on different nodes; collectives and
+        control flags excluded — this is a >= bound, not an equality)."""
+        total = 0
+        for op in self.all_ops():
+            if op.kind in ("put", "get", "put_nbi") and self.node_of(op.pe) != self.node_of(op.target):
+                total += op.nbytes
+        return total
+
+    def with_rounds(self, rounds) -> "Workload":
+        return replace(self, rounds=tuple(tuple(r) for r in rounds if r))
+
+
+def _weighted(rng: random.Random, table):
+    total = sum(w for _, w in table)
+    pick = rng.uniform(0, total)
+    acc = 0.0
+    for item, w in table:
+        acc += w
+        if pick <= acc:
+            return item
+    return table[-1][0]
+
+
+def _draw_nbytes(rng: random.Random, max_nbytes: int) -> int:
+    classes = [(span, w) for span, w in SIZE_CLASSES if span[0] <= max_nbytes]
+    lo, hi = _weighted(rng, classes)
+    return rng.randint(lo, min(hi, max_nbytes))
+
+
+def _build_buffers(design: str, npes: int, max_nbytes: int, use_gpu_coll: bool) -> Tuple[BufSpec, ...]:
+    gpu_ok = design != "naive"
+    bufs = [
+        BufSpec("atoms", "host", ATOM_WORDS * 8, 8),
+        BufSpec("hbuf", "host", 8 * SLOT_BYTES, SLOT_BYTES),
+    ]
+    if max_nbytes > SLOT_BYTES:
+        bufs.append(BufSpec("hbig", "host", BIG_BYTES, BIG_BYTES))
+    if gpu_ok:
+        bufs.append(BufSpec("gbuf", "gpu", 8 * SLOT_BYTES, SLOT_BYTES))
+        if max_nbytes > SLOT_BYTES:
+            bufs.append(BufSpec("gbig", "gpu", BIG_BYTES, BIG_BYTES))
+    coll_domain = "gpu" if (gpu_ok and use_gpu_coll) else "host"
+    coll_size = npes * COLL_BLOCK
+    bufs.append(BufSpec("csrc", coll_domain, coll_size, COLL_BLOCK))
+    bufs.append(BufSpec("cdst", coll_domain, coll_size, COLL_BLOCK))
+    return tuple(bufs)
+
+
+class _Gen:
+    """One generation pass; tracks reservations and atomic word state."""
+
+    def __init__(self, rng: random.Random, w_seed: int, design: str, nodes: int, ppn: int, max_nbytes: int):
+        self.rng = rng
+        self.design = design
+        self.nodes = nodes
+        self.ppn = ppn
+        self.npes = nodes * ppn
+        self.max_nbytes = max_nbytes
+        self.uid = 0
+        #: (target_pe, word) -> running value; the generator simulates
+        #: atomics itself so cswap can choose hit/miss deliberately.
+        self.atom_state: Dict[Tuple[int, int], int] = {}
+        self.lock_pairs_used = 0
+        self.buffers = _build_buffers(design, self.npes, max_nbytes, use_gpu_coll=rng.random() < 0.4)
+        self._names = {b.name for b in self.buffers}
+
+    def next_uid(self) -> int:
+        self.uid += 1
+        return self.uid
+
+    # ------------------------------------------------------------ p2p ops
+    def _internode(self, a: int, b: int) -> bool:
+        return a // self.ppn != b // self.ppn
+
+    def _data_buffers(self, pe: int, target: int, nbytes: int) -> List[BufSpec]:
+        """Buffers (and thereby remote domains) legal for this pair."""
+        out = []
+        for spec in self.buffers:
+            if spec.name in ("atoms", "csrc", "cdst"):
+                continue
+            if nbytes > spec.slot_bytes:
+                continue
+            out.append(spec)
+        return out
+
+    def _legal_local_device(self, op_kind: str, spec: BufSpec, pe: int, target: int) -> List[bool]:
+        """Which local-buffer domains the design supports for this op."""
+        if self.design == "naive":
+            return [False]
+        if self.design == "host-pipeline" and self._internode(pe, target):
+            # Inter-node supports only H-H and D-D.
+            return [spec.domain == "gpu"]
+        return [False, True]
+
+    def p2p_round(self, max_ops: int) -> List[WOp]:
+        rng = self.rng
+        nops = rng.randint(1, max(1, max_ops))
+        used_cells = set()  # (buf, owner_pe, slot)
+        word_use: Dict[Tuple[int, int], str] = {}  # (pe, word) -> kind
+        ops: List[WOp] = []
+        for _ in range(nops):
+            kind = _weighted(rng, P2P_KINDS)
+            pe = rng.randrange(self.npes)
+            target = rng.randrange(self.npes)
+            if kind == "fence":
+                ops.append(WOp(self.next_uid(), "fence", pe=pe))
+                continue
+            if kind in ("fadd", "swap", "cswap", "aset", "afetch"):
+                op = self._atomic_op(kind, pe, target, word_use)
+                if op is not None:
+                    ops.append(op)
+                continue
+            if kind == "put_u64":
+                slot = rng.randrange(8)
+                if ("hbuf", target, slot) in used_cells:
+                    continue
+                used_cells.add(("hbuf", target, slot))
+                ops.append(WOp(self.next_uid(), "put_u64", pe=pe, target=target,
+                               buf="hbuf", slot=slot, nbytes=8,
+                               value=rng.getrandbits(63)))
+                continue
+            # put / get / put_nbi
+            nbytes = _draw_nbytes(rng, self.max_nbytes)
+            candidates = self._data_buffers(pe, target, nbytes)
+            if not candidates:
+                continue
+            spec = rng.choice(candidates)
+            owner = target  # gets read the remote side too
+            nslots = spec.size // spec.slot_bytes
+            slot = rng.randrange(nslots)
+            if (spec.name, owner, slot) in used_cells:
+                continue
+            local_choices = self._legal_local_device(kind, spec, pe, target)
+            local_device = rng.choice(local_choices)
+            used_cells.add((spec.name, owner, slot))
+            ops.append(WOp(self.next_uid(), kind, pe=pe, target=target,
+                           buf=spec.name, slot=slot, nbytes=min(nbytes, spec.slot_bytes),
+                           local_device=local_device))
+        return ops
+
+    def _atomic_op(self, kind: str, pe: int, target: int, word_use) -> Optional[WOp]:
+        rng = self.rng
+        word = rng.randrange(LOCK_WORDS, ATOM_WORDS)
+        key = (target, word)
+        prior = word_use.get(key)
+        if prior is not None and not (prior == "fadd" and kind == "fadd"):
+            return None  # only stacked fetch_adds commute
+        word_use[key] = kind
+        cur = self.atom_state.get(key, 0)
+        value = rng.getrandbits(31)
+        compare = 0
+        if kind == "fadd":
+            self.atom_state[key] = cur + value
+        elif kind in ("swap", "aset"):
+            self.atom_state[key] = value
+        elif kind == "cswap":
+            if rng.random() < 0.5:
+                compare = cur
+                self.atom_state[key] = value
+            else:
+                compare = cur + 1 + rng.getrandbits(16)
+        elif kind == "afetch":
+            value = 0
+        return WOp(self.next_uid(), kind, pe=pe, target=target, buf="atoms",
+                   slot=word, nbytes=8, value=value, compare=compare)
+
+    # ----------------------------------------------------------- specials
+    def collective_round(self) -> List[WOp]:
+        rng = self.rng
+        kind = rng.choice(COLLECTIVE_KINDS)
+        if kind == "bcast":
+            nbytes = rng.randint(8, self.npes * COLL_BLOCK)
+            return [WOp(self.next_uid(), "bcast", nbytes=nbytes, root=rng.randrange(self.npes))]
+        if kind == "reduce":
+            count = rng.randint(1, (self.npes * COLL_BLOCK) // 8)
+            return [WOp(self.next_uid(), "reduce", nbytes=count * 8)]
+        nbytes = rng.randint(8, COLL_BLOCK)
+        return [WOp(self.next_uid(), kind, nbytes=nbytes)]
+
+    def lock_round(self) -> Optional[List[WOp]]:
+        rng = self.rng
+        if self.lock_pairs_used >= LOCK_WORDS // 2:
+            return None
+        lock_word = self.lock_pairs_used * 2
+        counter_word = lock_word + 1
+        self.lock_pairs_used += 1
+        home = rng.randrange(self.npes)
+        k = rng.randint(1, self.npes)
+        parts = tuple(sorted(rng.sample(range(self.npes), k)))
+        self.atom_state[(home, counter_word)] = (
+            self.atom_state.get((home, counter_word), 0) + len(parts)
+        )
+        return [WOp(self.next_uid(), "lock_inc", target=home, buf="atoms",
+                    slot=counter_word, value=lock_word, parts=parts)]
+
+
+def generate_workload(
+    seed: int,
+    ops: int = 16,
+    design: Optional[str] = None,
+    faults: bool = False,
+    max_nbytes: int = 4 * MiB,
+    nodes: Optional[int] = None,
+    pes_per_node: Optional[int] = None,
+) -> Workload:
+    """Deterministically generate one workload from ``seed``.
+
+    ``ops`` is a target, not an exact count: rounds are drawn until at
+    least ``ops`` operations exist.  ``design``/``nodes``/
+    ``pes_per_node`` override the seeded draw when given (the corpus
+    uses this to pin coverage cells)."""
+    rng = random.Random(seed)
+    drawn_design = rng.choice(DESIGNS)
+    drawn_topo = rng.choice(TOPOLOGIES)
+    design = design or drawn_design
+    nodes = nodes if nodes is not None else drawn_topo[0]
+    ppn = pes_per_node if pes_per_node is not None else drawn_topo[1]
+    if nodes * ppn < 2:
+        ppn = 2 // nodes
+    gen = _Gen(rng, seed, design, nodes, ppn, max_nbytes)
+    rounds: List[List[WOp]] = []
+    while gen.uid < ops:
+        r = rng.random()
+        if r < 0.62:
+            rnd = gen.p2p_round(max_ops=4)
+        elif r < 0.84:
+            rnd = gen.collective_round()
+        else:
+            rnd = gen.lock_round()
+        if rnd:
+            rounds.append(rnd)
+    return Workload(
+        seed=seed,
+        design=design,
+        nodes=nodes,
+        pes_per_node=ppn,
+        buffers=gen.buffers,
+        rounds=tuple(tuple(r) for r in rounds),
+        faults=faults,
+    )

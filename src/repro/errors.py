@@ -64,6 +64,25 @@ class HeapExhausted(ShmemError):
     """Symmetric heap allocation failed."""
 
 
+def annotate_workload_error(exc: BaseException, pe: int, op_index: int) -> BaseException:
+    """Stamp a workload exception with the PE and op ordinal it escaped
+    from (idempotent; keeps the original type and attributes).
+
+    ``ShmemJob.run`` calls this on anything a program body raises, so a
+    failure in a generated or user workload names *where* it happened —
+    ``pe`` and ``op_index`` become attributes and the first string arg
+    gains a ``[PE p, op #i]`` suffix."""
+    if getattr(exc, "pe", None) is None or not hasattr(exc, "op_index"):
+        exc.pe = pe
+        exc.op_index = op_index
+        note = f"[PE {pe}, op #{op_index}]"
+        if exc.args and isinstance(exc.args[0], str):
+            exc.args = (f"{exc.args[0]} {note}",) + exc.args[1:]
+        else:
+            exc.args = exc.args + (note,)
+    return exc
+
+
 class LinkDown(ReproError):
     """Raised into transfers when failure injection downs a link.
 

@@ -51,6 +51,10 @@ class ShmemContext(TypedOps, LockOps, TeamOps):
         self.pending: List[Event] = []
         self._watchers: List[Event] = []
         self._gate_depth = 0
+        #: Ordinal of the *top-level* runtime call in flight (1-based);
+        #: ``ShmemJob.run`` stamps it onto escaping exceptions so a
+        #: failure names the op that raised it.
+        self.op_index = 0
         self._barrier_gen = 0
         self._bcast_gen = 0
         self._scratch: Optional[Ptr] = None  # small host buffer for flags
@@ -95,6 +99,7 @@ class ShmemContext(TypedOps, LockOps, TeamOps):
     def _enter(self) -> None:
         self._gate_depth += 1
         if self._gate_depth == 1:
+            self.op_index += 1
             self.runtime.service[self.pe].enter_runtime()
 
     def _exit(self) -> None:

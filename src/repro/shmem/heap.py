@@ -16,7 +16,7 @@ by the runtime comparing ledger sequence numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import HeapExhausted, ShmemError
 
@@ -98,6 +98,16 @@ class HeapAllocator:
                 return True
         return False
 
+    def live_blocks(self) -> List[Tuple[int, int]]:
+        """Sorted ``(offset, size)`` of every live allocation — the
+        read-back hook the differential harness uses to compare final
+        heap contents against its reference executor."""
+        return sorted(self._live.items())
+
+    def free_blocks(self) -> List[Tuple[int, int]]:
+        """Sorted ``(offset, size)`` of every hole in the free list."""
+        return sorted((b.offset, b.size) for b in self._free)
+
 
 class SymmetricHeap:
     """One PE's symmetric heap for one domain: allocator + byte storage."""
@@ -120,6 +130,15 @@ class SymmetricHeap:
 
     def ptr(self, offset: int):
         return self.alloc.ptr(offset)
+
+    def live_blocks(self) -> List[Tuple[int, int]]:
+        """Sorted ``(offset, size)`` of the live allocations."""
+        return self.allocator.live_blocks()
+
+    def read_back(self, offset: int, nbytes: int) -> bytes:
+        """The current bytes of ``[offset, offset+nbytes)`` — untimed,
+        for post-run differential checks only."""
+        return self.ptr(offset).read(nbytes)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

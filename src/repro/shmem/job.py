@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cuda.api import CudaContext
 from repro.cuda.memory import MemorySpace
-from repro.errors import ConfigurationError, ShmemError
+from repro.errors import ConfigurationError, ShmemError, annotate_workload_error
 from repro.hardware.cluster import ClusterConfig, ClusterHardware
 from repro.hardware.node import NodeConfig
 from repro.hardware.params import HardwareParams, wilkes_params
@@ -125,8 +125,15 @@ class ShmemJob:
             yield from self.runtime.init_pe(ctx)
             yield from ctx.barrier_all()
             start_marker["t"] = max(start_marker["t"], self.sim.now)
-            result = yield from program(ctx, *args)
-            yield from ctx.quiet()
+            try:
+                result = yield from program(ctx, *args)
+                yield from ctx.quiet()
+            except Exception as exc:
+                # Name the failing PE and op ordinal before the error
+                # unwinds through the scheduler — the differential
+                # harness' shrinker and plain users both need to know
+                # *which* op of *whose* program blew up.
+                raise annotate_workload_error(exc, ctx.pe, ctx.op_index)
             return result
 
         procs = [

@@ -225,6 +225,18 @@ class Runtime:
                 f"{self.design!r} design"
             ) from None
 
+    def heap_read_back(self, pe: int, domain: Domain, offset: int, nbytes: int) -> bytes:
+        """Untimed read of ``nbytes`` at a symmetric ``offset`` on PE
+        ``pe`` — the post-run hook the differential harness
+        (:mod:`repro.check`) uses to compare final heap bytes against
+        its reference executor.  Never use this from inside a program:
+        it bypasses the simulated transfer paths entirely."""
+        return self.heap_of(pe, domain).heap.read_back(offset, nbytes)
+
+    def heap_live_blocks(self, pe: int, domain: Domain):
+        """Sorted ``(offset, size)`` live allocations of one PE heap."""
+        return self.heap_of(pe, domain).heap.live_blocks()
+
     def ensure_mr(self, alloc) -> Generator:
         """Register an arbitrary buffer with the HCA (cached, timed).
 

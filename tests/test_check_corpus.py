@@ -1,0 +1,81 @@
+"""Seeded regression corpus for the differential harness.
+
+~25 pinned seeds through the full oracle battery, covering every
+runtime design x symmetric-heap domain x fault-plan on/off cell.  A
+corpus failure means a real regression in one of the three execution
+modes (or in the harness itself) — shrink it with::
+
+    python -m repro check --seed <seed> --design <design> [--faults]
+"""
+
+import pytest
+
+from repro.check import check_workload, execute_reference, generate_workload
+
+#: (seed, pinned design or None for the seeded draw, fault plan armed)
+CORPUS = [
+    # naive: host domain only, by design.
+    (101, "naive", False),
+    (102, "naive", False),
+    (103, "naive", False),
+    (104, "naive", True),
+    (105, "naive", True),
+    # host-pipeline: host + GPU domains, no inter-node cross-domain.
+    (201, "host-pipeline", False),
+    (202, "host-pipeline", False),
+    (203, "host-pipeline", False),
+    (204, "host-pipeline", True),
+    (205, "host-pipeline", True),
+    # enhanced-gdr: every configuration in Table I.
+    (301, "enhanced-gdr", False),
+    (302, "enhanced-gdr", False),
+    (303, "enhanced-gdr", False),
+    (304, "enhanced-gdr", True),
+    (305, "enhanced-gdr", True),
+    # Seeded design draw: topology/design/domain mix.
+    (1, None, False),
+    (2, None, False),
+    (3, None, False),
+    (4, None, False),
+    (5, None, False),
+    (6, None, False),
+    (7, None, False),
+    (8, None, True),
+    (9, None, True),
+    (10, None, False),
+]
+
+
+def _ids():
+    return [
+        f"seed{seed}-{design or 'drawn'}-{'faults' if faults else 'clean'}"
+        for seed, design, faults in CORPUS
+    ]
+
+
+@pytest.mark.parametrize("seed,design,faults", CORPUS, ids=_ids())
+def test_corpus_seed_passes_every_oracle(seed, design, faults):
+    w = generate_workload(seed, ops=10, design=design, faults=faults)
+    report = check_workload(w)
+    assert report.oracles_run == 9
+    assert report.passed, report.summary()
+    # The acceptance bar, stated explicitly: final heap bytes match the
+    # reference executor exactly, in every execution mode.
+    ref = execute_reference(w)
+    for mode, obs in report.runs.items():
+        assert obs.heaps == ref.heaps, f"{mode} heap mismatch on seed {seed}"
+
+
+def test_corpus_covers_the_design_domain_fault_matrix():
+    cells = set()
+    for seed, design, faults in CORPUS:
+        w = generate_workload(seed, ops=10, design=design, faults=faults)
+        domains = {b.domain for b in w.buffers if any(op.buf == b.name for op in w.all_ops())}
+        for d in domains:
+            cells.add((w.design, d, faults))
+    for design in ("naive", "host-pipeline", "enhanced-gdr"):
+        for faults in (False, True):
+            assert (design, "host", faults) in cells, (design, "host", faults)
+    # GPU-domain traffic must appear for both GPU-capable designs.
+    assert any(c == ("host-pipeline", "gpu", False) for c in cells)
+    assert any(c[0] == "enhanced-gdr" and c[1] == "gpu" for c in cells)

@@ -350,3 +350,72 @@ def test_reliability_report_renders():
         assert needle in report
     # No plan attached -> nothing to report.
     assert reliability_report(_job()) == ""
+
+
+# ------------------------------------------------- atomics under retry
+def _counter_program(increments):
+    """Every PE fetch-adds (pe+1) into a counter on PE 0, ``increments``
+    times; PE 0 returns the final value after the closing barrier."""
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(8)
+        yield from ctx.barrier_all()
+        for _ in range(increments):
+            yield from ctx.atomic_fetch_add(sym, ctx.pe + 1, pe=0)
+        yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        if ctx.pe == 0:
+            return int.from_bytes(sym.read(8), "little")
+        return None
+
+    return main
+
+
+def _atomic_job(plan=None):
+    params = wilkes_params(**FAULT_PARAMS)
+    return ShmemJob(
+        nodes=2, pes_per_node=2, design="enhanced-gdr", params=params, fault_plan=plan
+    )
+
+
+def _atomic_fault_plan(seed, start):
+    """HCA-port flaps short enough for the RC retry budget to absorb,
+    plus a CQ error burst — the retry gauntlet for the atomic legs."""
+    return (
+        FaultPlan(seed=seed)
+        .flap(at=start + usec(3), down_for=usec(8), node=0, kind="hca-port",
+              every=usec(25), count=10)
+        .cq_error_burst(at=start + usec(1), duration=usec(300), max_errors=3)
+    )
+
+
+def test_atomics_apply_exactly_once_under_cq_error_bursts():
+    """Retries must never double-apply an atomic: each RC leg (request
+    and response) retransmits independently, but the RMW executes once.
+    The final counter is therefore *exact*, not approximate."""
+    increments = 6
+    npes = 4
+    expected = increments * sum(pe + 1 for pe in range(npes))
+
+    start = _atomic_job().run(_counter_program(0)).start_time
+    job = _atomic_job(plan=_atomic_fault_plan(7, start))
+    res = job.run(_counter_program(increments))
+    assert res.results[0] == expected
+    # The gauntlet must actually bite: retransmissions happened, yet
+    # nothing was lost or applied twice.
+    assert job.sim.stats.retries > 0
+    assert job.sim.stats.cq_errors >= 0
+
+
+def test_atomics_under_faults_are_seed_deterministic():
+    increments = 4
+    start = _atomic_job().run(_counter_program(0)).start_time
+
+    def one():
+        job = _atomic_job(plan=_atomic_fault_plan(11, start))
+        res = job.run(_counter_program(increments))
+        return res.results[0], res.elapsed, _stats_dict(job.sim)
+
+    a, b = one(), one()
+    assert a == b
+    assert a[0] == increments * sum(pe + 1 for pe in range(4))

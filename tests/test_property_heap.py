@@ -1,0 +1,113 @@
+"""Hypothesis property tests for the symmetric heap and addressing.
+
+The properties the runtime's address translation silently relies on:
+identical collective allocate/free sequences produce *identical*
+offsets on every PE (symmetry), every offset respects its requested
+alignment, live blocks never overlap, and a fully-freed heap coalesces
+back to one hole.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HeapExhausted, ShmemError
+from repro.shmem.address import SymAddr
+from repro.shmem.constants import Domain
+from repro.shmem.heap import HeapAllocator
+
+CAPACITY = 1 << 20
+NPES = 4
+
+#: An action: allocate(size, 2^align_exp) or free(one live block).
+_actions = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "alloc", "alloc", "free"]),
+        st.integers(1, 96 * 1024),
+        st.integers(0, 12),
+        st.integers(0, 2**16),
+    ),
+    max_size=50,
+)
+
+
+def _overlap_free(blocks):
+    for (o1, s1), (o2, _) in zip(blocks, blocks[1:]):
+        if o1 + s1 > o2:
+            return False
+    return True
+
+
+@given(_actions)
+@settings(max_examples=60, deadline=None)
+def test_collective_sequences_stay_symmetric_aligned_nonoverlapping(actions):
+    pes = [HeapAllocator(CAPACITY) for _ in range(NPES)]
+    for kind, size, align_exp, pick in actions:
+        align = 1 << align_exp
+        if kind == "alloc":
+            offsets = []
+            for heap in pes:
+                try:
+                    offsets.append(heap.allocate(size, align))
+                except HeapExhausted:
+                    offsets.append(None)
+            # Symmetry: the same call returns the same offset (or the
+            # same failure) on every PE.
+            assert len(set(offsets)) == 1
+            off = offsets[0]
+            if off is None:
+                continue
+            assert off % align == 0
+            assert off + size <= CAPACITY
+        else:
+            live = pes[0].live_blocks()
+            if not live:
+                continue
+            target = live[pick % len(live)][0]
+            for heap in pes:
+                heap.free(target)
+        for heap in pes:
+            blocks = heap.live_blocks()
+            assert _overlap_free(blocks), f"live blocks overlap: {blocks}"
+            assert heap.live_bytes + heap.free_bytes <= CAPACITY
+    # Teardown: free everything; the free list must coalesce back to
+    # one capacity-sized hole on every PE.
+    for heap in pes:
+        for off, _ in list(heap.live_blocks()):
+            heap.free(off)
+        assert heap.free_blocks() == [(0, CAPACITY)]
+        assert heap.live_blocks() == []
+
+
+@given(st.integers(1, 64 * 1024), st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_allocation_alignment_is_enforced(size, align_exp):
+    heap = HeapAllocator(CAPACITY)
+    align = 1 << align_exp
+    off = heap.allocate(size, align)
+    assert off % align == 0
+    assert heap.contains_live(off, size)
+    heap.free(off)
+    assert not heap.contains_live(off)
+
+
+def test_bad_alignment_and_double_free_are_rejected():
+    heap = HeapAllocator(4096)
+    with pytest.raises(ShmemError):
+        heap.allocate(8, alignment=3)
+    off = heap.allocate(8)
+    heap.free(off)
+    with pytest.raises(ShmemError):
+        heap.free(off)
+
+
+@given(st.integers(0, 2**40), st.integers(0, 2**20), st.integers(0, 2**20))
+@settings(max_examples=60, deadline=None)
+def test_symaddr_offset_algebra(base, d1, d2):
+    for domain in (Domain.HOST, Domain.GPU):
+        a = SymAddr(domain, base)
+        assert (a + d1).offset == base + d1
+        assert (a + d1).domain is domain
+        assert (a + d1) + d2 == a + (d1 + d2)
+        assert a + 0 == a
