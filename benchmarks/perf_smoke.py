@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""CI gate over a smoke-sweep report: analytic tiers fired, wall sane.
+
+Usage:
+    PYTHONPATH=src python benchmarks/run_all.py --smoke --fresh \
+        --output BENCH_smoke.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py BENCH_smoke.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py BENCH_smoke.json \
+        --update-baseline   # re-record the archived wall baseline
+
+Two checks:
+
+1. **Tier liveness** — the analytic engine must have carried real work
+   in the quick sweep: ``fastpath_batches + contended_windows +
+   collective_closed_forms > 0`` in the report's engine totals.  A
+   refactor that silently widens an eligibility gate until nothing
+   commits analytically turns every sweep into a pure event-path run;
+   wall time regresses quietly and bit-identity tests can't see it.
+   This check can.
+
+2. **Wall regression guard** — total target wall must stay within
+   ``REGRESSION_FACTOR`` (1.2 = +20%) of the archived baseline in
+   ``benchmarks/results/perf_smoke_baseline.json``.  Wall clocks vary
+   across machines, so the guard only *fails* when both the event
+   totals (same workload) and the host fingerprint (same machine)
+   match the record — any mismatch downgrades to a warning, since a
+   changed workload or a new runner needs ``--update-baseline``
+   anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+BASELINE = REPO / "benchmarks" / "results" / "perf_smoke_baseline.json"
+
+#: Total smoke wall may grow by at most this factor over the baseline.
+REGRESSION_FACTOR = 1.2
+
+#: These SimStats counters prove the analytic tiers committed work.
+TIER_COUNTERS = ("fastpath_batches", "contended_windows", "collective_closed_forms")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="sweep JSON from run_all.py --smoke")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="re-record the archived wall baseline from this report")
+    args = ap.parse_args(argv)
+
+    doc = json.loads(Path(args.report).read_text())
+    totals = doc.get("engine_totals", {})
+    wall = doc.get("total_target_wall_seconds", 0.0)
+
+    fired = {k: totals.get(k, 0) for k in TIER_COUNTERS}
+    print("tier counters:", fired)
+    if sum(fired.values()) <= 0:
+        print("FAIL: no analytic tier committed any work "
+              f"({' + '.join(TIER_COUNTERS)} == 0)", file=sys.stderr)
+        return 1
+
+    if args.update_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({
+            "total_target_wall_seconds": wall,
+            "engine_processed": totals.get("processed", 0),
+            "host": platform.platform(),
+            "python": platform.python_version(),
+        }, indent=2) + "\n")
+        print(f"baseline updated: {wall:.3f}s -> {BASELINE}")
+        return 0
+
+    if not BASELINE.is_file():
+        print(f"WARN: no archived baseline at {BASELINE}; "
+              "run with --update-baseline to record one")
+        return 0
+    base = json.loads(BASELINE.read_text())
+    limit = base["total_target_wall_seconds"] * REGRESSION_FACTOR
+    same_workload = base.get("engine_processed", 0) == totals.get("processed", 0)
+    same_host = base.get("host") == platform.platform()
+    verdict = (f"wall {wall:.3f}s vs baseline "
+               f"{base['total_target_wall_seconds']:.3f}s "
+               f"(limit {limit:.3f}s, factor {REGRESSION_FACTOR})")
+    if wall > limit:
+        if same_workload and same_host:
+            print(f"FAIL: {verdict}", file=sys.stderr)
+            return 1
+        why = ("event totals differ from the baseline (workload changed)"
+               if not same_workload else
+               "baseline was recorded on a different host")
+        print(f"WARN: {verdict} — {why}; refresh with --update-baseline")
+        return 0
+    print(f"ok: {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

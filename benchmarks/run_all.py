@@ -133,6 +133,9 @@ def main(argv=None) -> int:
                     help="skip timing the tier-1 pytest suite")
     ap.add_argument("--fresh", action="store_true",
                     help="drop the on-disk cache before running")
+    ap.add_argument("--profile", action="store_true",
+                    help="record a per-experiment breakdown (wall per "
+                         "phase, per-tier analytic counters) in the report")
     ap.add_argument("--faults", choices=["off"], default=None,
                     help="'off': also run the no-fault-plan zero-overhead probe")
     args = ap.parse_args(argv)
@@ -144,7 +147,7 @@ def main(argv=None) -> int:
         shutil.rmtree(cache_dir)
 
     targets = SMOKE_TARGETS if args.smoke else list(EXPERIMENTS)
-    runner = SweepRunner(cache_dir, jobs=args.jobs, quick=args.smoke)
+    runner = SweepRunner(cache_dir, jobs=args.jobs, quick=args.smoke, profile=args.profile)
     t0 = time.perf_counter()
     report = runner.run(targets, verbose=args.verbose)
     sweep_wall = time.perf_counter() - t0
@@ -176,6 +179,20 @@ def main(argv=None) -> int:
         f"{totals.get('fastpath_batches', 0)} batched pipelines "
         f"(~{totals.get('fastpath_events_saved', 0)} events elided)"
     )
+    if args.profile:
+        print(f"{'target':<12} {'run s':>8} {'events':>9} {'saved':>8} "
+              f"{'batch':>6} {'flows':>7} {'contend':>8} {'collect':>8} {'vec':>8}")
+        for t in report.targets:
+            prof = t.profile
+            if not prof:
+                continue
+            tiers, ev = prof["tiers"], prof["events"]
+            print(f"{t.exp_id:<12} {prof['phases']['run']:>8.3f} "
+                  f"{ev['processed']:>9} {ev['saved']:>8} "
+                  f"{tiers['fastpath_batches']:>6} {tiers['analytic_flows']:>7} "
+                  f"{tiers['contended_windows']:>8} "
+                  f"{tiers['collective_closed_forms']:>8} "
+                  f"{tiers['vectorised_events']:>8}")
     if "faults_off_baseline" in doc:
         fb = doc["faults_off_baseline"]
         print(

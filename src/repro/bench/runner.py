@@ -31,12 +31,50 @@ _SRC_ROOT = Path(__file__).resolve().parents[1]  # .../src/repro
 
 
 def code_fingerprint() -> str:
-    """Hash of every ``repro`` source file (cache invalidation key)."""
+    """Hash of every ``repro`` source file (cache invalidation key).
+
+    Each entry is framed as ``<path> NUL <length> NUL <content>`` so the
+    digest is unambiguous under concatenation (moving bytes between a
+    filename and a file body, or between two adjacent files, cannot
+    produce the same stream).  Files that vanish mid-walk (editor tmp
+    files) are skipped rather than crashing the sweep."""
     h = hashlib.sha256()
     for path in sorted(_SRC_ROOT.rglob("*.py")):
+        try:
+            body = path.read_bytes()
+        except OSError:
+            continue
         h.update(str(path.relative_to(_SRC_ROOT)).encode())
-        h.update(path.read_bytes())
+        h.update(b"\x00")
+        h.update(str(len(body)).encode())
+        h.update(b"\x00")
+        h.update(body)
     return h.hexdigest()
+
+
+#: Per-tier counter names exported by ``--profile`` (subset of
+#: ``SimStats``): tier-0/1 quiescent batches, tier-2 contended-window
+#: flows, closed-form collective rounds, and the vectorised event lane.
+PROFILE_TIER_KEYS = (
+    "fastpath_batches",
+    "analytic_flows",
+    "contended_windows",
+    "collective_closed_forms",
+    "vectorised_events",
+)
+
+
+def _profile_from_stats(stats: Dict[str, int]) -> Dict[str, object]:
+    """The per-tier events-processed-vs-saved breakdown of one run."""
+    return {
+        "tiers": {k: stats.get(k, 0) for k in PROFILE_TIER_KEYS},
+        "events": {
+            "scheduled": stats.get("scheduled", 0),
+            "processed": stats.get("processed", 0),
+            "saved": stats.get("fastpath_events_saved", 0),
+            "resumed_fast": stats.get("resumed_fast", 0),
+        },
+    }
 
 
 @dataclass
@@ -51,9 +89,11 @@ class TargetResult:
     error: Optional[str] = None
     #: Flat dotted-key metrics snapshot (``repro.obs.snapshot_stats``).
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: ``--profile`` breakdown: wall per phase, per-tier event counters.
+    profile: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "exp_id": self.exp_id,
             "wall_seconds": self.wall_seconds,
             "output_sha256": self.output_sha256,
@@ -62,6 +102,9 @@ class TargetResult:
             "error": self.error,
             "metrics": self.metrics,
         }
+        if self.profile:
+            out["profile"] = self.profile
+        return out
 
 
 @dataclass
@@ -105,7 +148,7 @@ class SweepReport:
         }
 
 
-def _run_one(exp_id: str, quick: bool) -> dict:
+def _run_one(exp_id: str, quick: bool, profile: bool = False) -> dict:
     """Worker: run one experiment, return a plain dict (picklable)."""
     from repro.obs import snapshot_stats
     from repro.reporting.experiments import run_experiment
@@ -115,35 +158,50 @@ def _run_one(exp_id: str, quick: bool) -> dict:
     t0 = time.perf_counter()
     try:
         output = run_experiment(exp_id, quick=quick)
+        t_run = time.perf_counter()
         err = None
         digest = hashlib.sha256(output.encode()).hexdigest()
     except Exception as exc:  # surface, don't kill the pool
+        t_run = time.perf_counter()
         err = f"{type(exc).__name__}: {exc}"
         digest = ""
-    wall = time.perf_counter() - t0
-    return {
+    t1 = time.perf_counter()
+    stats = GLOBAL_STATS.as_dict()
+    rec = {
         "exp_id": exp_id,
-        "wall_seconds": wall,
+        "wall_seconds": t1 - t0,
         "output_sha256": digest,
-        "sim_stats": GLOBAL_STATS.as_dict(),
+        "sim_stats": stats,
         "error": err,
         "metrics": snapshot_stats(GLOBAL_STATS),
     }
+    if profile:
+        prof = _profile_from_stats(stats)
+        prof["phases"] = {
+            "run": t_run - t0,
+            "digest": t1 - t_run,
+        }
+        rec["profile"] = prof
+    return rec
 
 
 class SweepRunner:
     """Run experiment targets with disk memoization and a process pool."""
 
-    def __init__(self, cache_dir: Path, jobs: int = 0, quick: bool = False):
+    def __init__(self, cache_dir: Path, jobs: int = 0, quick: bool = False, profile: bool = False):
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.jobs = jobs if jobs > 0 else max(1, os.cpu_count() or 1)
         self.quick = quick
+        self.profile = profile
         self.fingerprint = code_fingerprint()
 
     def _cache_path(self, exp_id: str) -> Path:
+        # ``profile`` participates in the key: a record cached without
+        # the breakdown must not satisfy a ``--profile`` sweep.
         key = hashlib.sha256(
-            f"{exp_id}\x00quick={self.quick}\x00{self.fingerprint}".encode()
+            f"{exp_id}\x00quick={self.quick}\x00profile={self.profile}"
+            f"\x00{self.fingerprint}".encode()
         ).hexdigest()
         return self.cache_dir / f"{key}.json"
 
@@ -163,6 +221,7 @@ class SweepRunner:
             cached=True,
             error=rec.get("error"),
             metrics=rec.get("metrics", {}),
+            profile=rec.get("profile", {}),
         )
 
     def _store(self, rec: dict) -> None:
@@ -191,9 +250,9 @@ class SweepRunner:
             if self.jobs > 1 and len(todo) > 1:
                 ctx = multiprocessing.get_context("fork" if os.name == "posix" else "spawn")
                 with ctx.Pool(min(self.jobs, len(todo))) as pool:
-                    recs = pool.starmap(_run_one, [(e, self.quick) for e in todo])
+                    recs = pool.starmap(_run_one, [(e, self.quick, self.profile) for e in todo])
             else:
-                recs = [_run_one(e, self.quick) for e in todo]
+                recs = [_run_one(e, self.quick, self.profile) for e in todo]
             for rec in recs:
                 self._store(rec)
                 by_id[rec["exp_id"]] = TargetResult(
@@ -204,6 +263,7 @@ class SweepRunner:
                     cached=False,
                     error=rec["error"],
                     metrics=rec.get("metrics", {}),
+                    profile=rec.get("profile", {}),
                 )
                 if verbose:
                     r = by_id[rec["exp_id"]]

@@ -16,7 +16,7 @@ from typing import Generator, Optional
 from repro.errors import CudaError
 from repro.cuda import ipc as ipc_mod
 from repro.cuda.memory import MemKind, MemorySpace, Ptr
-from repro.hardware.links import TransferSpec
+from repro.hardware.links import TransferSpec, analytic_execute
 from repro.hardware.node import Node
 from repro.simulator import Process, Resource, Simulator
 
@@ -140,7 +140,11 @@ class CudaContext:
         spec = self._spec_for(dst, src, nbytes)
         payload = src.snapshot(nbytes)
         dst._check(nbytes)  # fail fast before charging time
-        yield from spec.execute(self.sim)
+        an = analytic_execute(self.sim, spec)
+        if an is not None:
+            yield an
+        else:
+            yield from spec.execute(self.sim)
         dst.write(payload)
         return nbytes
 
@@ -153,7 +157,11 @@ class CudaContext:
         """Timed ``cudaMemset`` (charged like a device-local fill)."""
         spec = self.node.pcie.d2d_local(self.device_id, nbytes) if ptr.kind is MemKind.DEVICE \
             else self.node.pcie.host_copy(nbytes)
-        yield from spec.execute(self.sim)
+        an = analytic_execute(self.sim, spec)
+        if an is not None:
+            yield an
+        else:
+            yield from spec.execute(self.sim)
         ptr.fill(value, nbytes)
         return nbytes
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, LinkDown
-from repro.simulator import Resource, Simulator
+from repro.simulator import Event, Resource, Simulator
 
 
 class LinkDirection:
@@ -317,6 +317,189 @@ class TransferSpec:
             for d, req in granted:
                 d.resource.release(req)
         return self.nbytes
+
+
+class AnalyticTransfer:
+    """Callback-driven closed-form replay of one :meth:`TransferSpec.execute`.
+
+    The generic tier of the analytic engine: any ``yield from
+    spec.execute(sim)`` whose caller only needs the completion (memcpy,
+    memset, copy-based puts, MPI eager delivery) can instead commit one
+    of these and yield :attr:`completion`.  The replay acquires the very
+    same FIFO resources at the same instants as the generator would —
+    contended windows price themselves bit-identically — but elides the
+    per-hop generator resumes and the setup/hold ``Timeout``
+    allocations, scheduling its instants on the simulator's vectorised
+    wake lane instead.
+
+    Failure semantics mirror ``execute`` exactly: a matching failure at
+    request or grant time, or a failure window overlapping the hold,
+    fails :attr:`completion` with the same :class:`LinkDown` the
+    generator would raise, at the same instant (the caller's ``yield``
+    re-raises it).  Commit sites must gate on ``sim.fastpath``, no
+    active fault plan, and no tracer/trace — :func:`analytic_execute`
+    is that gate.
+    """
+
+    __slots__ = (
+        "sim",
+        "spec",
+        "dirs",
+        "duration",
+        "completion",
+        "_granted",
+        "_marks",
+        "_idx",
+        "_dead",
+        "_booting",
+        "boot_exc",
+        "contended",
+    )
+
+    def __init__(self, sim: Simulator, spec: TransferSpec):
+        self.sim = sim
+        self.spec = spec
+        self.dirs = spec.directions()
+        self.duration = spec.duration()
+        self.completion = Event(sim, name="an-x:done")
+        self._granted: List[Tuple[LinkDirection, object]] = []
+        self._marks: List[Tuple[LinkDirection, int]] = []
+        self._idx = 0
+        self._dead = False
+        self.boot_exc: Optional[BaseException] = None
+        self.contended = False
+        if spec.setup:
+            self._booting = False
+            w = sim.wake_at_lane(sim.now + spec.setup, name="an-x:setup")
+            w.callbacks.append(self._acquire)
+        else:
+            # No setup leg: ``execute`` requests synchronously at the
+            # current instant, so we do too.  A failure here surfaces
+            # through ``boot_exc`` and is re-raised by the commit site
+            # in the caller's own frame — exactly where the generator
+            # would have raised it.
+            self._booting = True
+            self._acquire(None)
+            self._booting = False
+
+    def _fire(self, value=None, exc: Optional[BaseException] = None) -> None:
+        """Trigger ``completion`` the way the event path would resume
+        its caller: synchronously, inside the current pop, when a
+        waiter is already attached (the generator continues within the
+        duration-timeout callback); through the scheduler otherwise."""
+        c = self.completion
+        if c._triggered:
+            return
+        if c.callbacks:
+            c._triggered = True
+            if exc is not None:
+                c._exc = exc
+            else:
+                c._value = value
+            c._run_callbacks()
+        elif exc is not None:
+            c.fail(exc)
+        else:
+            c.succeed(value)
+
+    def _die(self, exc: BaseException) -> None:
+        self._dead = True
+        for d, req in self._granted:
+            d.resource.release(req)
+        self._granted = []
+        if self._booting:
+            self.boot_exc = exc
+            return
+        self._fire(exc=exc)
+
+    def _acquire(self, ev: Optional[Event]) -> None:
+        if self._dead:
+            return
+        dirs = self.dirs
+        spec = self.spec
+        granted = self._granted
+        i = self._idx
+        if i and granted:
+            d = dirs[i - 1]
+            if d.blocks(spec.leg_label(d)):
+                self._die(LinkDown(f"link direction {d.name} went down", direction=d))
+                return
+        n = len(dirs)
+        while i < n:
+            d = dirs[i]
+            if d.blocks(spec.leg_label(d)):
+                self._die(LinkDown(f"link direction {d.name} is down", direction=d))
+                return
+            req = d.resource.request()
+            granted.append((d, req))
+            i += 1
+            if not req._triggered:
+                self._idx = i
+                if not self.contended:
+                    self.contended = True
+                    self.sim.stats.contended_windows += 1
+                req.callbacks.append(self._acquire)
+                return
+            if d.blocks(spec.leg_label(d)):
+                self._die(LinkDown(f"link direction {d.name} went down", direction=d))
+                return
+        self._idx = i
+        self._marks = [(d, d.fail_mark) for d in dirs]
+        sim = self.sim
+        end = sim.wake_at_lane(sim.now + self.duration, name="an-x:end")
+        end.callbacks.append(self._finish)
+
+    def _finish(self, _ev: Event) -> None:
+        if self._dead:
+            return
+        spec = self.spec
+        for d, mark in self._marks:
+            if d.failed_since(mark, spec.leg_label(d)):
+                self._die(
+                    LinkDown(
+                        f"link direction {d.name} failed mid-transfer; payload lost",
+                        direction=d,
+                    )
+                )
+                return
+        nbytes = spec.nbytes
+        for d in self.dirs:
+            d.bytes_moved += nbytes
+            d.transfers += 1
+        for d, req in self._granted:
+            d.resource.release(req)
+        self._granted = []
+        # Fired synchronously: the event path's caller resumes inside
+        # the hold-timeout pop (``yield from`` has no process hop), so
+        # its post-copy actions run *before* the released waiters' grant
+        # events — the sync fire preserves that order.
+        self._fire(value=nbytes)
+
+
+def analytic_execute(sim: Simulator, spec: TransferSpec) -> Optional[Event]:
+    """The commit gate for :class:`AnalyticTransfer`.
+
+    Returns the completion event to yield on, or ``None`` when the
+    event path must run (fast paths disabled, a fault plan is armed, or
+    a tracer/trace needs the per-event hooks that only ``execute``
+    provides).  Counted into the tier-2 analytic-flow statistics.
+    """
+    if (
+        sim.fastpath
+        and not sim.faults_active
+        and sim.trace is None
+        and sim.tracer is None
+    ):
+        tr = AnalyticTransfer(sim, spec)
+        if tr.boot_exc is not None:
+            # The generator would have raised before its first yield —
+            # synchronously, in the caller's frame.  Do the same.
+            raise tr.boot_exc
+        st = sim.stats
+        st.analytic_flows += 1
+        st.fastpath_events_saved += 2 + len(tr.dirs)
+        return tr.completion
+    return None
 
 
 def chunked(nbytes: int, chunk: int) -> Sequence[int]:

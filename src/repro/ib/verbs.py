@@ -21,7 +21,7 @@ Completion semantics:
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.cuda.memory import MemKind, Ptr
 from repro.errors import IBError
@@ -82,6 +82,13 @@ class Verbs:
         #: The attached :class:`repro.faults.FaultInjector`, if any
         #: (consulted by the CQ layer for completion-error bursts).
         self.faults = None
+        #: Analytic-write path cache: write paths are pure functions of
+        #: (endpoint, local buffer placement, remote region, size,
+        #: remote-HCA hint), so the tier-2 replay reuses one spec (plus
+        #: its acquisition order and pipelined duration) per signature.
+        #: Keyed by the remote region's rkey (unique per registration),
+        #: so a re-registration can never alias a stale path.
+        self._an_path_cache: Dict[tuple, tuple] = {}
 
     def _execute(self, spec: TransferSpec, hca=None) -> Generator:
         """Run a transfer spec, through the RC retry loop when one is
@@ -183,6 +190,13 @@ class Verbs:
         p = self.params
         sim = self.sim
         tracer = sim.tracer
+        if tracer is None:
+            an = self._write_analytic(
+                ep, local, remote_mr, dst_ptr, nbytes, remote_hca, posted, delivered
+            )
+            if an is not None:
+                yield an
+                return nbytes
         span = None
         if tracer is not None:
             span = tracer.begin(
@@ -208,6 +222,53 @@ class Verbs:
             if tracer is not None:
                 tracer.end(sim, span)
         return nbytes
+
+    def _write_analytic(
+        self, ep, local, remote_mr, dst_ptr, nbytes, remote_hca, posted, delivered
+    ) -> Optional[Event]:
+        """Tier-2 commit for :meth:`rdma_write`: replay the whole
+        post/acquire/transmit/ack timeline through an
+        :class:`~repro.shmem.fastpath.AnalyticFlow` (same instants, same
+        FIFO acquisition order, same failure surfacing — see its
+        docstring) and return the ack-instant completion to yield on.
+        ``None`` falls back to the event path (fast paths off, faults or
+        RC retransmission armed, tracing active, or an unroutable
+        path)."""
+        sim = self.sim
+        if not (
+            sim.fastpath
+            and not sim.faults_active
+            and sim.trace is None
+            and self.rc is None
+        ):
+            return None
+        from repro.shmem.fastpath import AnalyticFlow
+
+        key = (id(ep), local.kind, local.alloc.device_id, remote_mr.rkey, nbytes, remote_hca)
+        entry = self._an_path_cache.get(key)
+        if entry is None:
+            try:
+                path, dst_hca = self.write_path(ep, local, remote_mr, nbytes, remote_hca)
+            except Exception:
+                return None  # event path raises at the accurate instant
+            entry = (path, dst_hca, tuple(path.directions()), path.duration())
+            self._an_path_cache[key] = entry
+        path, dst_hca, dirs, duration = entry
+        flow = AnalyticFlow(
+            sim, path, local, dst_ptr, nbytes,
+            base=sim.now,
+            post_overhead=self.params.rdma_post_overhead,
+            ack_latency=self.params.rdma_ack_latency,
+            src_hca=ep.hca, dst_hca=dst_hca,
+            notify=None,
+            dirs=dirs, duration=duration,
+            posted_ev=posted, delivered_ev=delivered,
+            sync_complete=True,
+        )
+        st = sim.stats
+        st.analytic_flows += 1
+        st.fastpath_events_saved += 5 + len(dirs)
+        return flow.completion
 
     # ----------------------------------------------------------- RDMA read
     def rdma_read(

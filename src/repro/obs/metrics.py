@@ -55,6 +55,15 @@ class LatencyHistogram:
     maximum: float
 
     @classmethod
+    def empty(cls) -> "LatencyHistogram":
+        """A populated all-zero histogram for a series with no samples.
+
+        Entirely-analytic runs must still export every percentile key
+        (``p50``/``p95``/``p99``) so snapshot comparisons against the
+        event path diff value-by-value instead of key-by-key."""
+        return cls(count=0, total=0.0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+
+    @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyHistogram":
         if not samples:
             raise ValueError("histogram of an empty sample list")
@@ -126,7 +135,8 @@ def snapshot_probe(probe, prefix: str = "probe") -> Dict[str, Any]:
     """Histogram entries for every series of a ``Probe``."""
     out: Dict[str, Any] = {}
     for name in probe.names():
-        hist = LatencyHistogram.from_samples(probe.series(name))
+        xs = probe.series(name)
+        hist = LatencyHistogram.from_samples(xs) if xs else LatencyHistogram.empty()
         for stat, value in hist.as_dict().items():
             out[f"{prefix}.{name}.{stat}"] = value
     return out

@@ -20,6 +20,7 @@ Completion semantics implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.cuda.memory import MemKind, Ptr
@@ -31,6 +32,7 @@ from repro.shmem.address import SymAddr
 from repro.shmem.capabilities import TABLE_I, Capabilities
 from repro.shmem.constants import Config, Domain, Locality, Op, Protocol
 from repro.shmem.fastpath import (
+    AnalyticFlow,
     claim,
     claimable,
     merged_directions,
@@ -48,6 +50,15 @@ from repro.simulator import Event, Simulator
 #: synchronization flags (barrier/bcast/reduce slots).  User shmalloc
 #: offsets start above this.
 SYNC_RESERVED = 4096
+
+#: Put protocols the contended-window analytic tier can replay: the
+#: single-RDMA paths whose event schedule is one ``rdma_write`` (post,
+#: setup, FIFO hop acquisition, pipelined hold, ack).  Chunked/staged
+#: protocols stay on their own handlers (the quiescent tier-1 planners
+#: cover their uncontended case).
+_ANALYTIC_PUT_PROTOCOLS = frozenset(
+    {Protocol.DIRECT_GDR, Protocol.RDMA_HOST, Protocol.GDR_LOOPBACK}
+)
 
 
 @dataclass
@@ -86,6 +97,17 @@ class Runtime:
         self.protocol_counts: Dict[Protocol, int] = {}
         #: On-the-fly registrations of user (non-heap) buffers.
         self._mr_cache: Dict[int, MemoryRegion] = {}
+        #: Analytic-put route/path cache: everything the tier-2 commit
+        #: derives purely from topology — (route, TransferSpec, dst HCA,
+        #: acquisition-ordered directions, pipelined duration) — keyed
+        #: by the tuple those derivations actually depend on.  ``False``
+        #: marks a key whose selected protocol is analytically
+        #: ineligible.  Topology, endpoints and heap registrations are
+        #: fixed after job setup, so entries never go stale; per-call
+        #: state (offsets, link health, registration validity) is still
+        #: validated on every hit.
+        self._an_route_cache: Dict[tuple, object] = {}
+        self._an_notify_cb: Dict[int, object] = {}
         #: Armed by :class:`repro.faults.FaultInjector`; ``None`` in a
         #: fault-free job (and every fault code path below is skipped).
         self.health = None
@@ -431,6 +453,15 @@ class Runtime:
             raise ShmemError(f"putmem of {nbytes} bytes")
         p = self.params
         tracer = self.sim.tracer
+        if tracer is None:
+            fast = self._fast_rdma_put(ctx, dst, src, nbytes, pe)
+            if fast is not None:
+                posted, route, t0 = fast
+                yield posted
+                elapsed = self.sim.now - t0
+                ctx.probe.sample(f"put:{route.protocol.value}", elapsed)
+                ctx.probe.sample(f"pe{ctx.pe}.put:{route.protocol.value}", elapsed)
+                return None
         op_span = None
         if tracer is not None:
             op_span = tracer.begin(
@@ -546,6 +577,104 @@ class Runtime:
         return done
 
     # --- RDMA-based puts (return at post; completion tracked) ----------
+    def _fast_rdma_put(self, ctx, dst, src, nbytes, pe):
+        """Tier-2 analytic commit: replay a single-RDMA put — including
+        its dispatch/lookup overheads — through an
+        :class:`~repro.shmem.fastpath.AnalyticFlow`.
+
+        Unlike the quiescent tier-1 planners this works under link
+        contention: the flow requests the same FIFO resources at the
+        same instants as the event path, so contended windows price
+        themselves bit-identically (see the AnalyticFlow docstring).
+        Returns ``(posted, route, t0)`` for the caller to yield/sample
+        on, or ``None`` to take the event path.  Declines whole-hog on
+        any validation error so the event path raises at the accurate
+        instant, and whenever tracing, faults, health tracking or RC
+        retransmission are active — those layers hook the event path.
+        """
+        sim = self.sim
+        if not (
+            sim.fastpath
+            and not sim.faults_active
+            and sim.trace is None
+            and sim.tracer is None
+            and self.health is None
+            and self.verbs.rc is None
+        ):
+            return None
+        alloc = src.alloc
+        key = (ctx.pe, pe, alloc.kind, alloc.device_id, dst.domain, nbytes)
+        entry = self._an_route_cache.get(key)
+        if entry is None:
+            entry = self._an_route_fill(ctx, src, dst, nbytes, pe, key)
+            if entry is None:
+                return None
+        if entry is False:
+            return None
+        route, path, dst_hca, dirs, duration = entry
+        ep = ctx.endpoint
+        try:
+            mr = self._remote_mr(dst, pe)
+            self.resolve(dst, pe)
+            self.verbs._check_local(ep, src)
+            mr.check_range(dst.offset, nbytes)
+            dst_ptr = mr.ptr(dst.offset)
+        except Exception:
+            return None  # event path raises at the accurate instant
+        p = self.params
+        self._count(route)
+        notify = self._an_notify_cb.get(pe)
+        if notify is None:
+            notify = self._an_notify_cb[pe] = partial(self._notify, pe)
+        # Same float arithmetic as the two sequential Timeouts it elides.
+        t0 = (sim.now + p.shmem_dispatch_overhead) + p.shmem_lookup_overhead
+        flow = AnalyticFlow(
+            sim, path, src, dst_ptr, nbytes,
+            base=t0,
+            post_overhead=p.rdma_post_overhead,
+            ack_latency=p.rdma_ack_latency,
+            src_hca=ep.hca, dst_hca=dst_hca,
+            notify=notify,
+            dirs=dirs, duration=duration,
+            gate=True,
+        )
+        ctx.track(flow.completion)
+        sim.stats.analytic_flows += 1
+        sim.stats.fastpath_events_saved += 9
+        if ctx.in_collective:
+            sim.stats.collective_closed_forms += 1
+        return flow.posted, route, t0
+
+    def _an_route_fill(self, ctx, src, dst, nbytes, pe, key):
+        """Populate :attr:`_an_route_cache` for one analytic-put key.
+
+        Returns the cache entry, ``False`` (cached: the selected
+        protocol has no analytic form), or ``None`` (transient decline —
+        a validation error the event path must raise at the accurate
+        instant; nothing is cached so the error stays per-call).
+        """
+        config = Config.of(src.kind is MemKind.DEVICE, dst.domain is Domain.GPU)
+        locality = self.locality(ctx, pe)
+        local_ss, remote_ss = self._socket_flags(ctx, pe)
+        route = self.selector.select(
+            Op.PUT, config, locality, nbytes,
+            local_same_socket=local_ss, remote_same_socket=remote_ss,
+        )
+        if route.protocol not in _ANALYTIC_PUT_PROTOCOLS:
+            self._an_route_cache[key] = False
+            return False
+        ep = ctx.endpoint
+        try:
+            mr = self._remote_mr(dst, pe)
+            self.verbs._check_local(ep, src)
+            remote_hca = ep.hca_id if route.protocol is Protocol.GDR_LOOPBACK else None
+            path, dst_hca = self.verbs.write_path(ep, src, mr, nbytes, remote_hca)
+        except Exception:
+            return None
+        entry = (route, path, dst_hca, tuple(path.directions()), path.duration())
+        self._an_route_cache[key] = entry
+        return entry
+
     def _remote_mr(self, dst: SymAddr, pe: int) -> MemoryRegion:
         info = self.heap_of(pe, dst.domain)
         if info.mr is None:
@@ -1088,6 +1217,11 @@ class Runtime:
             batch, ctx.pending[:] = list(ctx.pending), []
             live = [ev for ev in batch if not ev.processed]
             if live:
+                # Always through the AllOf wrapper, even for a single
+                # event: waiting on the op directly would resume this
+                # PE one scheduler hop earlier, flipping same-instant
+                # tie order against concurrent PEs (observable as
+                # timing drift at scale).
                 yield self.sim.all_of(live)  # raises on any failure
             for ev in batch:
                 if ev.processed and not ev.ok:

@@ -1,0 +1,79 @@
+"""Unit coverage for the cached sweep runner's reporting surface:
+engine-total aggregation over the analytic-tier counters, the
+``--profile`` breakdown, and the cache-invalidation fingerprint."""
+
+import repro.bench.runner as runner_mod
+from repro.bench.runner import (
+    PROFILE_TIER_KEYS,
+    SweepReport,
+    TargetResult,
+    _profile_from_stats,
+    code_fingerprint,
+)
+
+
+def test_totals_aggregates_every_tier_counter():
+    stats_a = {
+        "processed": 10,
+        "fastpath_batches": 1,
+        "analytic_flows": 2,
+        "contended_windows": 1,
+        "collective_closed_forms": 3,
+        "vectorised_events": 7,
+    }
+    stats_b = {"processed": 5, "analytic_flows": 4, "vectorised_events": 1}
+    rep = SweepReport(
+        fingerprint="f",
+        quick=False,
+        jobs=1,
+        targets=[
+            TargetResult("a", 0.1, "x", stats_a),
+            TargetResult("b", 0.2, "y", stats_b),
+        ],
+    )
+    totals = rep.totals()
+    assert totals["processed"] == 15
+    assert totals["fastpath_batches"] == 1
+    assert totals["analytic_flows"] == 6
+    assert totals["contended_windows"] == 1
+    assert totals["collective_closed_forms"] == 3
+    assert totals["vectorised_events"] == 8
+    # The serialised report carries the same aggregate.
+    assert rep.as_dict()["engine_totals"] == totals
+
+
+def test_profile_breakdown_covers_every_tier_key():
+    prof = _profile_from_stats({"processed": 3, "fastpath_events_saved": 9})
+    assert set(prof["tiers"]) == set(PROFILE_TIER_KEYS)
+    assert prof["events"]["saved"] == 9
+    assert prof["tiers"]["analytic_flows"] == 0
+
+
+def test_target_result_serialises_profile_only_when_present():
+    bare = TargetResult("a", 0.1, "x", {})
+    assert "profile" not in bare.as_dict()
+    rich = TargetResult("a", 0.1, "x", {}, profile={"tiers": {}})
+    assert rich.as_dict()["profile"] == {"tiers": {}}
+
+
+def test_code_fingerprint_changes_with_content(tmp_path, monkeypatch):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    mod = pkg / "mod.py"
+    mod.write_bytes(b"x = 1\n")
+    monkeypatch.setattr(runner_mod, "_SRC_ROOT", tmp_path)
+    before = code_fingerprint()
+    mod.write_bytes(b"x = 2\n")
+    assert code_fingerprint() != before
+
+
+def test_code_fingerprint_framing_is_unambiguous(tmp_path, monkeypatch):
+    # The same concatenated byte stream split differently across two
+    # files must not collide: per-file length framing disambiguates.
+    monkeypatch.setattr(runner_mod, "_SRC_ROOT", tmp_path)
+    (tmp_path / "a.py").write_bytes(b"ab")
+    (tmp_path / "b.py").write_bytes(b"c")
+    one = code_fingerprint()
+    (tmp_path / "a.py").write_bytes(b"a")
+    (tmp_path / "b.py").write_bytes(b"bc")
+    assert code_fingerprint() != one

@@ -43,6 +43,15 @@ CORPUS = [
     (8, None, True),
     (9, None, True),
     (10, None, False),
+    # Analytic-engine stressors: seeds whose drawn workloads pile
+    # concurrent put_nbi windows onto shared links (contended-window
+    # tier) or lean on collective rounds (closed-form tier).  All three
+    # execution modes must stay oracle-clean with the tiers engaged.
+    (421, None, False),  # enhanced-gdr draw, 4 nbi ops, 4-deep round
+    (483, None, False),  # enhanced-gdr draw, 4 nbi ops across 8 PEs
+    (432, None, False),  # enhanced-gdr draw, 3 collective rounds
+    (455, None, False),  # enhanced-gdr draw, collectives + nbi mix
+    (491, None, False),  # host-pipeline draw, 4 collective rounds
 ]
 
 

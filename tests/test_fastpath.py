@@ -281,3 +281,133 @@ def test_chunked_rejects_negative_nbytes():
 
 def test_chunked_zero_is_empty():
     assert list(chunked(0, 1 * MiB)) == []
+
+
+# --------------------------------- generalised analytic engine (tiers)
+def _ab_run_stats(make_job, program):
+    """Like :func:`_ab_run`, but returns the fast run's engine stats so
+    tests can assert which analytic tier carried the work."""
+    outcomes = []
+    for fast in (True, False):
+        job = make_job()
+        job.sim.fastpath = fast
+        res = job.run(program)
+        outcomes.append(
+            (
+                res.results,
+                res.elapsed,
+                _counters(job),
+                dict(job.runtime.protocol_counts),
+                job.sim.stats,
+            )
+        )
+    on, off = outcomes
+    # The kill switch disables every tier, not just the batch planner.
+    assert off[4].fastpath_batches == 0
+    assert off[4].analytic_flows == 0
+    assert off[4].contended_windows == 0
+    assert on[0] == off[0]  # program results (times, payload bytes)
+    assert on[1] == off[1]  # exact virtual end time, no tolerance
+    assert on[2] == off[2]  # every link/HCA counter
+    assert on[3] == off[3]  # protocol selection unchanged
+    return on[4]
+
+
+@pytest.mark.parametrize("flows", [2, 3, 5, 8])
+def test_contended_flows_share_one_link_identical(flows):
+    """2..8 concurrent analytic flows queueing on one HCA port with
+    asymmetric sizes: FIFO grant hand-offs must price bit-identically."""
+
+    def main(ctx):
+        half = ctx.npes // 2
+        sym = yield from ctx.shmalloc(64 * KiB, domain=Domain.GPU)
+        src = ctx.cuda.malloc(32 * KiB)
+        src.fill(0x11 + ctx.pe, 32 * KiB)
+        yield from ctx.barrier_all()
+        if ctx.pe < half:
+            # Asymmetric per-flow sizes so no two windows are congruent.
+            nbytes = 1 * KiB * (1 + ctx.pe)
+            for i in range(3):
+                yield from ctx.putmem(sym + i * 8 * KiB, src, nbytes, pe=half + ctx.pe)
+            yield from ctx.quiet()
+        yield from ctx.barrier_all()
+        return (ctx.now, sym.read(64 * KiB) if ctx.pe >= half else None)
+
+    stats = _ab_run_stats(
+        lambda: ShmemJob(nodes=2, pes_per_node=flows, design="enhanced-gdr"),
+        main,
+    )
+    assert stats.analytic_flows > 0       # tier 2 committed real puts
+    assert stats.contended_windows > 0    # and they actually queued
+
+
+def test_mid_window_fault_fallback_identical():
+    """A port dies while committed analytic flows are mid-window: every
+    flow must fail with the event path's exception at its instant, and
+    quiet must surface it identically."""
+    from repro.errors import LinkDown
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(64 * KiB, domain=Domain.GPU)
+        src = ctx.cuda.malloc(8 * KiB)
+        src.fill(0x42, 8 * KiB)
+        yield from ctx.barrier_all()
+        out = None
+        if ctx.my_pe() == 0:
+            port = ctx.job.hw.nodes[0].hcas[0].port.fwd
+            for i in range(4):
+                yield from ctx.putmem(sym + i * 8 * KiB, src, 2 * KiB, pe=ctx.npes - 1)
+            port.fail()  # in-flight windows lose their payloads
+            try:
+                yield from ctx.putmem(sym, src, 2 * KiB, pe=ctx.npes - 1)
+                yield from ctx.quiet()
+                out = "unexpected-success"
+            except LinkDown as exc:
+                out = ("failed", str(exc), ctx.now)
+                port.repair()
+        yield from ctx.barrier_all()
+        return out
+
+    stats = _ab_run_stats(
+        lambda: ShmemJob(nodes=2, pes_per_node=1, design="enhanced-gdr"),
+        main,
+    )
+    assert stats.analytic_flows > 0
+
+
+_COLLECTIVES = ["barrier", "bcast", "reduce", "alltoall", "fcollect", "collect"]
+
+
+@pytest.mark.parametrize("coll", _COLLECTIVES)
+def test_collective_closed_form_identical(coll):
+    """Each collective against its event twin: the puts committed
+    inside the collective extent (the closed-form tier) must leave
+    results, heap bytes, and the end time bit-identical."""
+
+    def main(ctx):
+        n = ctx.npes
+        dst = yield from ctx.shmalloc(4 * KiB * n, domain=Domain.HOST)
+        src = yield from ctx.shmalloc(4 * KiB * n, domain=Domain.HOST)
+        src.fill(0x21 + ctx.pe, 4 * KiB * n)
+        yield from ctx.barrier_all()
+        if coll == "barrier":
+            for _ in range(3):
+                yield from ctx.barrier_all()
+        elif coll == "bcast":
+            yield from ctx.broadcast(src, 4 * KiB, root=0)
+        elif coll == "reduce":
+            yield from ctx.reduce(dst, src, count=128)
+        elif coll == "alltoall":
+            yield from ctx.alltoall(dst, src, 1 * KiB)
+        elif coll == "fcollect":
+            yield from ctx.fcollect(dst, src, 1 * KiB)
+        elif coll == "collect":
+            yield from ctx.collect(dst, src, 512 * (1 + ctx.pe % 2))
+        yield from ctx.barrier_all()
+        return (ctx.now, dst.read(4 * KiB * n), src.read(4 * KiB))
+
+    stats = _ab_run_stats(
+        lambda: ShmemJob(nodes=2, pes_per_node=2, design="enhanced-gdr"),
+        main,
+    )
+    assert stats.collective_closed_forms > 0

@@ -391,3 +391,52 @@ def test_collect_still_correct_after_sync_sym_hoist():
     offs = [off for off, _data in res.results]
     assert offs == [0, 256]
     assert all(data == expected for _off, data in res.results)
+
+
+def test_latency_histogram_empty_exports_every_key():
+    hist = LatencyHistogram.empty()
+    d = hist.as_dict()
+    assert set(d) == {"count", "total", "mean", "p50", "p95", "p99", "max"}
+    assert all(v == 0 for v in d.values())
+
+
+def test_snapshot_probe_handles_sample_free_series():
+    # An entirely-analytic run can leave a series declared but never
+    # sampled; the export must still carry every percentile key (as
+    # zeros) so fast-vs-event snapshot diffs stay value-by-value.
+    probe = Probe()
+    probe.sample("put:direct-gdr", 2.0)
+    probe._series.setdefault("get:direct-gdr", [])
+    out = snapshot_probe(probe)
+    assert out["probe.get:direct-gdr.count"] == 0
+    assert out["probe.get:direct-gdr.p99"] == 0.0
+    assert out["probe.put:direct-gdr.count"] == 1
+
+
+def test_probe_snapshot_bit_identical_fast_vs_event():
+    """The analytic tiers must feed the latency probes the exact values
+    the event path records: every probe.* key, count, and percentile."""
+
+    def main(ctx):
+        sym = yield from ctx.shmalloc(1 * MiB, domain=Domain.GPU)
+        src = ctx.cuda.malloc(1 * MiB)
+        src.fill(0x5A, 1 * MiB)
+        yield from ctx.barrier_all()
+        if ctx.pe == 0:
+            for nbytes in (2 * KiB, 64 * KiB, 1 * MiB):
+                yield from ctx.putmem(sym, src, nbytes, pe=1)
+                yield from ctx.quiet()
+        yield from ctx.barrier_all()
+
+    snaps = []
+    for fast in (True, False):
+        job = ShmemJob(nodes=2, pes_per_node=1, design="enhanced-gdr")
+        job.sim.fastpath = fast
+        job.run(main)
+        snap = snapshot_job(job)
+        snaps.append(
+            {k: snap.get(k) for k in snap.keys() if k.startswith("probe.")}
+        )
+    fast_keys, event_keys = snaps
+    assert fast_keys == event_keys
+    assert any(k.endswith(".p99") for k in fast_keys)
