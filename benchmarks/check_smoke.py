@@ -16,7 +16,6 @@ next to the report so the failure travels with the artifact.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -31,6 +30,7 @@ from repro.check import (  # noqa: E402
     to_pytest_repro,
 )
 from repro.check.shrink import to_cli_command  # noqa: E402
+from repro.reporting.artifacts import artifact_doc, write_json_artifact  # noqa: E402
 
 
 def run_seed(seed: int, ops: int, faults: bool) -> dict:
@@ -91,15 +91,15 @@ def main(argv=None) -> int:
         print(f"pytest repro: {repro_path}")
 
     oracle_passes = sum(r["oracles_run"] for r in rows if r["passed"])
-    out = {
+    out = artifact_doc("check_smoke", {
         "seeds_run": len(rows),
         "seeds_passed": sum(r["passed"] for r in rows),
         "oracle_passes": oracle_passes,
         "wall_s": round(time.perf_counter() - t0, 2),
         "repro": repro,
         "rows": rows,
-    }
-    Path(args.output).write_text(json.dumps(out, indent=2) + "\n")
+    })
+    write_json_artifact(args.output, out)
     print(
         f"check smoke: {out['seeds_passed']}/{out['seeds_run']} seeds, "
         f"{oracle_passes} oracle passes in {out['wall_s']}s -> {args.output}"

@@ -31,12 +31,19 @@ Two checks:
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.reporting.artifacts import (  # noqa: E402
+    artifact_doc,
+    read_json_artifact,
+    write_json_artifact,
+)
+
 BASELINE = REPO / "benchmarks" / "results" / "perf_smoke_baseline.json"
 
 #: Total smoke wall may grow by at most this factor over the baseline.
@@ -53,7 +60,7 @@ def main(argv=None) -> int:
                     help="re-record the archived wall baseline from this report")
     args = ap.parse_args(argv)
 
-    doc = json.loads(Path(args.report).read_text())
+    doc = read_json_artifact(args.report)
     totals = doc.get("engine_totals", {})
     wall = doc.get("total_target_wall_seconds", 0.0)
 
@@ -65,13 +72,12 @@ def main(argv=None) -> int:
         return 1
 
     if args.update_baseline:
-        BASELINE.parent.mkdir(parents=True, exist_ok=True)
-        BASELINE.write_text(json.dumps({
+        write_json_artifact(BASELINE, artifact_doc("perf_baseline", {
             "total_target_wall_seconds": wall,
             "engine_processed": totals.get("processed", 0),
             "host": platform.platform(),
             "python": platform.python_version(),
-        }, indent=2) + "\n")
+        }))
         print(f"baseline updated: {wall:.3f}s -> {BASELINE}")
         return 0
 
@@ -79,7 +85,11 @@ def main(argv=None) -> int:
         print(f"WARN: no archived baseline at {BASELINE}; "
               "run with --update-baseline to record one")
         return 0
-    base = json.loads(BASELINE.read_text())
+    # Pre-envelope baselines (no "schema" key) still load fine; the
+    # kind check only applies once a baseline has been re-recorded.
+    base = read_json_artifact(BASELINE)
+    if "schema" in base:
+        read_json_artifact(BASELINE, kind="perf_baseline")
     limit = base["total_target_wall_seconds"] * REGRESSION_FACTOR
     same_workload = base.get("engine_processed", 0) == totals.get("processed", 0)
     same_host = base.get("host") == platform.platform()

@@ -27,7 +27,6 @@ suite and records the speedup against the pre-optimization baseline.
 from __future__ import annotations
 
 import argparse
-import json
 import shutil
 import subprocess
 import sys
@@ -38,6 +37,7 @@ REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.bench.runner import SweepRunner  # noqa: E402
+from repro.reporting.artifacts import write_json_artifact  # noqa: E402
 from repro.reporting.experiments import EXPERIMENTS  # noqa: E402
 
 #: Tier-1 wall time of the pre-optimization tree on the same workload
@@ -102,6 +102,57 @@ def faults_off_baseline(repeats: int = 7) -> dict:
     }
 
 
+def run_via_service(targets, quick, profile, url, verbose=False):
+    """Drive the sweep through a running ``repro serve`` instance.
+
+    Submits one sweep job per target in a single batch, waits for all
+    of them, and rebuilds the usual :class:`SweepReport` from the
+    service's result records — which are produced by the *same* worker
+    (``repro.bench.runner._run_one``) and cached under the *same* disk
+    key, so ``output_sha256`` is bit-identical to a local run.
+    """
+    from repro.bench.runner import SweepReport, TargetResult, code_fingerprint
+    from repro.serve.client import JobFailed, ServeClient
+
+    report = SweepReport(fingerprint=code_fingerprint(), quick=quick, jobs=0)
+    with ServeClient(url, timeout=120.0) as client:
+        specs = [
+            {"kind": "sweep", "experiment": t, "quick": quick, "profile": profile}
+            for t in targets
+        ]
+        acks = client.submit_batch(specs)
+        for target, ack in zip(targets, acks):
+            try:
+                detail = client.wait(ack["id"], raise_on_failure=True)
+                rec = detail["result"]
+                cached = bool(
+                    ack.get("dedup") == "cached"
+                    or detail.get("cached")
+                    or rec.get("cached")
+                )
+                err = rec.get("error")
+            except JobFailed as exc:
+                detail = exc.detail
+                rec, cached = {}, False
+                err = detail.get("error") or detail.get("state")
+            report.targets.append(TargetResult(
+                exp_id=target,
+                wall_seconds=rec.get("wall_seconds", 0.0),
+                output_sha256=rec.get("output_sha256", ""),
+                sim_stats=rec.get("sim_stats", {}),
+                cached=cached,
+                error=err,
+                metrics=rec.get("metrics", {}),
+                profile=rec.get("profile", {}),
+            ))
+            if verbose:
+                flag = f"ERROR {err}" if err else (
+                    "cache hit" if cached else f"{rec.get('wall_seconds', 0.0):.2f}s"
+                )
+                print(f"  serve      {target} ({flag})")
+    return report
+
+
 def time_tier1() -> float:
     t0 = time.perf_counter()
     proc = subprocess.run(
@@ -138,6 +189,9 @@ def main(argv=None) -> int:
                          "phase, per-tier analytic counters) in the report")
     ap.add_argument("--faults", choices=["off"], default=None,
                     help="'off': also run the no-fault-plan zero-overhead probe")
+    ap.add_argument("--serve", metavar="URL", default=None,
+                    help="run the sweep through a 'repro serve' service at URL "
+                         "instead of an in-process pool (bit-identical records)")
     args = ap.parse_args(argv)
     if args.output is None:
         args.output = str(REPO / ("BENCH_PR2.json" if args.faults else "BENCH_PR1.json"))
@@ -147,13 +201,23 @@ def main(argv=None) -> int:
         shutil.rmtree(cache_dir)
 
     targets = SMOKE_TARGETS if args.smoke else list(EXPERIMENTS)
-    runner = SweepRunner(cache_dir, jobs=args.jobs, quick=args.smoke, profile=args.profile)
     t0 = time.perf_counter()
-    report = runner.run(targets, verbose=args.verbose)
+    if args.serve:
+        report = run_via_service(
+            targets, quick=args.smoke, profile=args.profile,
+            url=args.serve, verbose=args.verbose,
+        )
+    else:
+        runner = SweepRunner(
+            cache_dir, jobs=args.jobs, quick=args.smoke, profile=args.profile
+        )
+        report = runner.run(targets, verbose=args.verbose)
     sweep_wall = time.perf_counter() - t0
 
     doc = report.as_dict()
     doc["sweep_wall_seconds"] = sweep_wall
+    if args.serve:
+        doc["serve"] = {"url": args.serve}
     totals = doc["engine_totals"]
 
     if args.faults == "off":
@@ -167,9 +231,7 @@ def main(argv=None) -> int:
             "speedup": TIER1_BASELINE_SECONDS / tier1,
         }
 
-    out_path = Path(args.output)
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    write_json_artifact(args.output, doc)
 
     failed = [t.exp_id for t in report.targets if t.error]
     print(

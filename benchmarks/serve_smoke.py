@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Service smoke: a mixed batch through a real ``repro serve`` subprocess.
+
+Usage:
+    PYTHONPATH=src python benchmarks/serve_smoke.py \
+        [--check-seeds 10] [--output serve_smoke.json]
+
+Boots the service as a subprocess (ephemeral port, URL parsed from its
+announcement line), then pushes one quick experiment sweep, N
+differential-check seeds, and one trace export through the HTTP API —
+the exact mix the CLI clients generate.  Asserts the acceptance
+guarantees from DESIGN.md §10:
+
+* every job reaches ``done`` (no lost or stuck jobs);
+* the sweep's ``output_sha256`` is bit-identical to a direct in-process
+  ``run_experiment`` call;
+* at least one ``metrics`` event streams while jobs run, and the
+  streamed MetricsSnapshot equals the job's final result metrics;
+* the trace job streams span chunks and writes a loadable Chrome JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.reporting import run_experiment  # noqa: E402
+from repro.reporting.artifacts import artifact_doc, write_json_artifact  # noqa: E402
+from repro.serve.client import ServeClient, wait_for_service  # noqa: E402
+from repro.serve.server import spawn_service_subprocess  # noqa: E402
+
+SWEEP_TARGET = "fig6a"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check-seeds", type=int, default=10)
+    ap.add_argument("--ops", type=int, default=10, help="ops per check workload")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--output", default="serve_smoke.json")
+    args = ap.parse_args(argv)
+
+    tmp = Path(tempfile.mkdtemp(prefix="serve_smoke_"))
+    trace_out = str(tmp / "trace.json")
+    t0 = time.perf_counter()
+    proc, url = spawn_service_subprocess(
+        ["--workers", str(args.workers), "--cache-dir", str(tmp / "cache")]
+    )
+    print(f"service: {url} (pid {proc.pid})")
+    try:
+        client = wait_for_service(url)
+        specs = [{"kind": "sweep", "experiment": SWEEP_TARGET, "quick": True}]
+        specs += [
+            {"kind": "check", "seed": s, "ops": args.ops}
+            for s in range(args.check_seeds)
+        ]
+        specs.append({
+            "kind": "trace", "experiment": SWEEP_TARGET, "quick": True,
+            "output": trace_out,
+        })
+        acks = client.submit_batch(specs)
+        assert len(acks) == len(specs)
+        sweep_id, trace_id = acks[0]["id"], acks[-1]["id"]
+
+        # Stream the sweep job while it runs: collect its metrics delta.
+        streamed = [e for e in client.stream(sweep_id)]
+        metrics_events = [e for e in streamed if e["type"] == "metrics"]
+        assert metrics_events, f"no metrics event streamed: {streamed}"
+
+        details = client.wait_many([a["id"] for a in acks], timeout=600)
+        states = {d["state"] for d in details.values()}
+        assert states == {"done"}, f"not all jobs done: {states}"
+
+        # Bit-identity: service sweep record vs direct in-process run.
+        sweep = details[sweep_id]["result"]
+        local_sha = hashlib.sha256(
+            run_experiment(SWEEP_TARGET, quick=True).encode()
+        ).hexdigest()
+        assert sweep["output_sha256"] == local_sha, (
+            f"sha mismatch: service {sweep['output_sha256']} vs local {local_sha}"
+        )
+
+        # Streamed MetricsSnapshot == the job's final result metrics.
+        assert metrics_events[-1]["data"] == sweep["metrics"], (
+            f"streamed {metrics_events[-1]['data']} != final {sweep['metrics']}"
+        )
+
+        # Every check seed passed its oracle battery.
+        checks = [details[a["id"]]["result"] for a in acks[1:-1]]
+        assert all(c["passed"] for c in checks), "check seed failed via service"
+
+        # Trace job streamed span chunks and wrote a loadable Chrome JSON.
+        trace_events = [e for e in client.stream(trace_id)]
+        span_chunks = [e for e in trace_events if e["type"] == "spans"]
+        assert span_chunks, "no span chunks streamed for trace job"
+        trace = details[trace_id]["result"]
+        chrome = json.loads(Path(trace_out).read_text())
+        assert len(chrome["traceEvents"]) >= trace["spans"]
+
+        stats = client.stats()
+    finally:
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=20)
+
+    wall = time.perf_counter() - t0
+    doc = artifact_doc("serve_smoke", {
+        "url": url,
+        "jobs": len(specs),
+        "check_seeds": args.check_seeds,
+        "sweep_output_sha256": sweep["output_sha256"],
+        "bit_identical_to_local": True,
+        "streamed_metrics_events": len(metrics_events),
+        "streamed_metrics_equal_final": True,
+        "span_chunks_streamed": len(span_chunks),
+        "trace_spans": trace["spans"],
+        "oracle_passes": sum(c["oracles_run"] for c in checks),
+        "counters": stats["counters"],
+        "wall_s": round(wall, 2),
+    })
+    write_json_artifact(args.output, doc)
+    print(
+        f"serve smoke: {len(specs)} jobs all done in {wall:.1f}s "
+        f"(sweep sha bit-identical, {len(metrics_events)} metrics event(s) "
+        f"streamed == final, {len(span_chunks)} span chunk(s)) -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Service soak: ~1M lightweight requests through a real subprocess
+service, exercising the dedup and scheduling paths at volume.
+
+Usage:
+    PYTHONPATH=src python benchmarks/serve_soak.py \
+        [--requests 1000000] [--distinct 512] [--batch 2000] \
+        [--workers 4] [--output BENCH_PR7.json]
+
+The soaker pushes ``--requests`` synthetic job specs (cycling through
+``--distinct`` distinct dedup keys, so the overwhelming majority of
+submissions coalesce onto an in-flight job or answer from the result
+memo) over the HTTP batch endpoint while a sampler thread polls
+``/stats`` for queue depth.  The report records submission and
+end-to-end throughput, queue-depth percentiles, the dedup hit rate,
+and the zero-lost-jobs accounting:
+
+* every submission is acked and classified
+  (``submitted == unique + coalesced + cached_memo + cached_disk``);
+* every unique job reaches ``done`` (no failed/cancelled/stuck);
+* the queue fully drains (depth 0, nothing running).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.metrics import percentile  # noqa: E402
+from repro.reporting.artifacts import artifact_doc, write_json_artifact  # noqa: E402
+from repro.serve.client import ServeClient, wait_for_service  # noqa: E402
+from repro.serve.server import spawn_service_subprocess  # noqa: E402
+
+
+class StatsSampler(threading.Thread):
+    """Poll ``/stats`` on its own connection while the soak runs."""
+
+    def __init__(self, url: str, interval: float = 0.05):
+        super().__init__(name="soak-stats-sampler", daemon=True)
+        self.client = ServeClient(url, timeout=10.0)
+        self.interval = interval
+        self.queue_depths: list = []
+        self.running_samples: list = []
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            try:
+                stats = self.client.stats()
+            except Exception:
+                break
+            self.queue_depths.append(stats["queue_depth"])
+            self.running_samples.append(stats["running"])
+            self._halt.wait(self.interval)
+        self.client.close()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=1_000_000)
+    ap.add_argument("--distinct", type=int, default=512,
+                    help="distinct dedup keys the requests cycle through")
+    ap.add_argument("--batch", type=int, default=2000,
+                    help="specs per HTTP batch submission")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--rounds", type=int, default=32,
+                    help="sha256 rounds per unique synthetic execution")
+    ap.add_argument("--drain-timeout", type=float, default=300.0)
+    ap.add_argument("--output", default=str(REPO / "BENCH_PR7.json"))
+    args = ap.parse_args(argv)
+
+    proc, url = spawn_service_subprocess([
+        "--workers", str(args.workers),
+        "--max-queue", str(max(200_000, args.distinct * 4)),
+    ])
+    print(f"service: {url} (pid {proc.pid}); "
+          f"{args.requests:,} requests over {args.distinct} distinct keys, "
+          f"batches of {args.batch}")
+    sampler = None
+    try:
+        client = wait_for_service(url)
+        sampler = StatsSampler(url)
+        sampler.start()
+
+        dedup_acks: Counter = Counter()
+        job_ids: set = set()
+        sent = 0
+        t0 = time.perf_counter()
+        while sent < args.requests:
+            n = min(args.batch, args.requests - sent)
+            specs = [
+                {
+                    "kind": "synthetic",
+                    "key": f"soak-{(sent + i) % args.distinct:05d}",
+                    "rounds": args.rounds,
+                }
+                for i in range(n)
+            ]
+            acks = client.submit_batch(specs)
+            assert len(acks) == n, f"lost acks: sent {n}, got {len(acks)}"
+            for ack in acks:
+                dedup_acks[ack["dedup"]] += 1
+                job_ids.add(ack["id"])
+            sent += n
+            if sent % 100_000 < args.batch:
+                rate = sent / (time.perf_counter() - t0)
+                print(f"  {sent:>9,} submitted ({rate:,.0f} req/s)", flush=True)
+        submit_wall = time.perf_counter() - t0
+
+        # Drain: every queued/running job must reach a terminal state.
+        deadline = time.monotonic() + args.drain_timeout
+        while True:
+            stats = client.stats()
+            if stats["queue_depth"] == 0 and stats["running"] == 0:
+                break
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"queue did not drain within {args.drain_timeout:g}s: {stats}"
+                )
+            time.sleep(0.1)
+        total_wall = time.perf_counter() - t0
+        sampler.stop()
+
+        # --- zero-lost-jobs accounting -----------------------------------
+        counters = client.stats()["counters"]
+        assert counters["submitted"] == args.requests, counters
+        classified = (counters["unique"] + counters["coalesced"]
+                      + counters["cached_memo"] + counters["cached_disk"])
+        assert classified == counters["submitted"], (
+            f"unclassified submissions: {counters}"
+        )
+        assert counters["done"] == counters["unique"], (
+            f"not every unique job completed: {counters}"
+        )
+        assert counters["failed"] == counters["cancelled"] == 0, counters
+        assert counters["rejected"] == 0, counters
+        # The ack-side view must agree with the service-side counters.
+        assert sum(dedup_acks.values()) == args.requests, dedup_acks
+        assert dedup_acks["new"] == counters["unique"], (dedup_acks, counters)
+        assert len(job_ids) == counters["unique"], (
+            f"{len(job_ids)} distinct job ids vs {counters['unique']} unique"
+        )
+
+        final_stats = client.stats()
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=30)
+
+    depths = sampler.queue_depths or [0]
+    hits = (counters["coalesced"] + counters["cached_memo"]
+            + counters["cached_disk"])
+    doc = artifact_doc("serve_soak", {
+        "url": url,
+        "requests": args.requests,
+        "distinct_keys": args.distinct,
+        "batch_size": args.batch,
+        "workers": args.workers,
+        "submit_wall_s": round(submit_wall, 2),
+        "total_wall_s": round(total_wall, 2),
+        "submit_throughput_rps": round(args.requests / submit_wall, 1),
+        "end_to_end_throughput_rps": round(args.requests / total_wall, 1),
+        "dedup": {
+            "acks": dict(dedup_acks),
+            "hit_rate": round(hits / args.requests, 6),
+        },
+        "queue_depth": {
+            "samples": len(depths),
+            "p50": percentile(depths, 50),
+            "p90": percentile(depths, 90),
+            "p99": percentile(depths, 99),
+            "max": max(depths),
+        },
+        "running_max": max(sampler.running_samples or [0]),
+        "lost_jobs": 0,
+        "stuck_jobs": 0,
+        "counters": counters,
+        "final_stats": {k: v for k, v in final_stats.items() if k != "counters"},
+    })
+    write_json_artifact(args.output, doc)
+    print(
+        f"serve soak: {args.requests:,} requests in {total_wall:.1f}s "
+        f"({args.requests / total_wall:,.0f} req/s end-to-end, "
+        f"{args.requests / submit_wall:,.0f} req/s submit), "
+        f"dedup hit rate {hits / args.requests:.4%}, "
+        f"queue depth p50/p90/p99 = {percentile(depths, 50):.0f}/"
+        f"{percentile(depths, 90):.0f}/{percentile(depths, 99):.0f}, "
+        f"0 lost, 0 stuck -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,22 @@ def code_fingerprint() -> str:
     return h.hexdigest()
 
 
+def target_cache_key(
+    exp_id: str, *, quick: bool, profile: bool, fingerprint: str
+) -> str:
+    """The memo key one experiment target caches under.
+
+    Shared between the sweep runner's disk cache and the ``repro
+    serve`` scheduler's dedup index, so a queued service request and a
+    disk record for the same work always collide: same target + flags
+    + source tree -> same key; a ``--profile`` variant (richer record)
+    or any code change -> a different key.
+    """
+    return hashlib.sha256(
+        f"{exp_id}\x00quick={quick}\x00profile={profile}\x00{fingerprint}".encode()
+    ).hexdigest()
+
+
 #: Per-tier counter names exported by ``--profile`` (subset of
 #: ``SimStats``): tier-0/1 quiescent batches, tier-2 contended-window
 #: flows, closed-form collective rounds, and the vectorised event lane.
@@ -196,14 +212,15 @@ class SweepRunner:
         self.profile = profile
         self.fingerprint = code_fingerprint()
 
-    def _cache_path(self, exp_id: str) -> Path:
+    def cache_key(self, exp_id: str) -> str:
         # ``profile`` participates in the key: a record cached without
         # the breakdown must not satisfy a ``--profile`` sweep.
-        key = hashlib.sha256(
-            f"{exp_id}\x00quick={self.quick}\x00profile={self.profile}"
-            f"\x00{self.fingerprint}".encode()
-        ).hexdigest()
-        return self.cache_dir / f"{key}.json"
+        return target_cache_key(
+            exp_id, quick=self.quick, profile=self.profile, fingerprint=self.fingerprint
+        )
+
+    def _cache_path(self, exp_id: str) -> Path:
+        return self.cache_dir / f"{self.cache_key(exp_id)}.json"
 
     def _lookup(self, exp_id: str) -> Optional[TargetResult]:
         path = self._cache_path(exp_id)
@@ -227,7 +244,11 @@ class SweepRunner:
     def _store(self, rec: dict) -> None:
         if rec.get("error"):
             return  # never cache failures
-        self._cache_path(rec["exp_id"]).write_text(json.dumps(rec, indent=1))
+        # Atomic write-then-rename: an interrupted sweep must never
+        # leave a torn record that a later run would half-parse.
+        from repro.reporting.artifacts import write_json_artifact
+
+        write_json_artifact(self._cache_path(rec["exp_id"]), rec, indent=1)
 
     def run(self, exp_ids: Sequence[str], verbose: bool = False) -> SweepReport:
         report = SweepReport(fingerprint=self.fingerprint, quick=self.quick, jobs=self.jobs)
@@ -249,8 +270,21 @@ class SweepRunner:
         if todo:
             if self.jobs > 1 and len(todo) > 1:
                 ctx = multiprocessing.get_context("fork" if os.name == "posix" else "spawn")
-                with ctx.Pool(min(self.jobs, len(todo))) as pool:
-                    recs = pool.starmap(_run_one, [(e, self.quick, self.profile) for e in todo])
+                pool = ctx.Pool(min(self.jobs, len(todo)))
+                try:
+                    recs = pool.starmap_async(
+                        _run_one, [(e, self.quick, self.profile) for e in todo]
+                    ).get()
+                    pool.close()
+                except KeyboardInterrupt:
+                    # Ctrl-C mid-sweep: kill outstanding workers instead
+                    # of waiting them out.  Nothing has been stored yet,
+                    # and _store itself is atomic, so the cache holds
+                    # only complete records.
+                    pool.terminate()
+                    raise
+                finally:
+                    pool.join()
             else:
                 recs = [_run_one(e, self.quick, self.profile) for e in todo]
             for rec in recs:

@@ -1,5 +1,11 @@
-"""Reporting: ascii tables, series, and the per-figure experiment index."""
+"""Reporting: ascii tables, series, the per-figure experiment index,
+and the shared JSON-artifact envelope/atomic writer."""
 
+from repro.reporting.artifacts import (
+    artifact_doc,
+    read_json_artifact,
+    write_json_artifact,
+)
 from repro.reporting.format import format_series, format_table
 from repro.reporting.experiments import EXPERIMENTS, Experiment, run_experiment
 from repro.reporting.timeline import breakdown_table, reliability_report, utilization_table
@@ -7,10 +13,13 @@ from repro.reporting.timeline import breakdown_table, reliability_report, utiliz
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
+    "artifact_doc",
     "breakdown_table",
     "format_series",
     "format_table",
+    "read_json_artifact",
     "reliability_report",
     "run_experiment",
     "utilization_table",
+    "write_json_artifact",
 ]

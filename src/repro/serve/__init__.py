@@ -1,0 +1,68 @@
+"""``repro serve`` — the simulator as a long-running job service.
+
+ROADMAP item 5 made real (see DESIGN.md §10): instead of one-shot
+CLIs, simulation work — experiment sweeps, ``repro.check`` seeds,
+trace exports — flows through a persistent asyncio service with:
+
+* **priority scheduling** — a binary heap ordered by (priority,
+  submission order) feeding a small pool of worker coroutines;
+* **cache-aware dedup** — submissions are keyed by the sweep runner's
+  own disk-cache key (:func:`repro.bench.runner.target_cache_key`), so
+  an identical queued request coalesces onto the in-flight execution
+  and an already-computed one answers instantly from the memo or the
+  on-disk sweep cache;
+* **an explicit job lifecycle** (queued → running → done/failed/
+  cancelled) with per-job timeouts, cooperative cancellation, and
+  bounded retry for fault-flagged runs;
+* **streaming telemetry** — per-job event buffers replayed + followed
+  over an NDJSON endpoint: state edges, ``MetricsSnapshot`` deltas,
+  span-trace chunks;
+* **a stdlib HTTP/JSON API + thin client**, so ``benchmarks/
+  run_all.py --serve``, ``repro check --serve-url``, and ``repro
+  trace --serve-url`` run as service clients, and ``benchmarks/
+  serve_soak.py`` can push a million-request synthetic soak through
+  the real wire path.
+"""
+
+from repro.serve.client import JobFailed, ServeClient, ServeError, wait_for_service
+from repro.serve.jobs import (
+    DEFAULT_PRIORITY,
+    KINDS,
+    InvalidTransition,
+    Job,
+    JobState,
+    SpecError,
+    dedup_key_for,
+    validate_spec,
+)
+from repro.serve.scheduler import JobScheduler, QueueFull, SchedulerConfig
+from repro.serve.server import (
+    ServeService,
+    ServiceThread,
+    run_service,
+    spawn_service_subprocess,
+)
+from repro.serve.telemetry import EventBuffer
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "EventBuffer",
+    "InvalidTransition",
+    "Job",
+    "JobFailed",
+    "JobScheduler",
+    "JobState",
+    "KINDS",
+    "QueueFull",
+    "SchedulerConfig",
+    "ServeClient",
+    "ServeError",
+    "ServeService",
+    "ServiceThread",
+    "SpecError",
+    "dedup_key_for",
+    "run_service",
+    "spawn_service_subprocess",
+    "validate_spec",
+    "wait_for_service",
+]

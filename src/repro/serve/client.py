@@ -1,0 +1,201 @@
+"""Thin blocking client for the ``repro serve`` HTTP API.
+
+Stdlib-only (``http.client``): one persistent keep-alive connection
+for plain calls, a dedicated close-delimited connection per event
+stream.  Every CLI that can run as a service client
+(``benchmarks/run_all.py --serve``, ``repro check --serve-url``,
+``repro trace --serve-url``, ``repro submit``) goes through this
+class, as do the soak/smoke benchmarks.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+
+class ServeError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class JobFailed(ServeError):
+    """A waited-on job reached ``failed`` (or was cancelled)."""
+
+    def __init__(self, detail: Dict[str, Any]):
+        state = detail.get("state")
+        RuntimeError.__init__(
+            self, f"job {detail.get('id')} {state}: {detail.get('error')}"
+        )
+        self.status = 0
+        self.detail = detail
+
+
+class ServeClient:
+    """Blocking JSON client bound to one service URL."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8787", timeout: float = 60.0):
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// service URLs are supported, got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 8787
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- transport
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        payload = None if body is None else json.dumps(body)
+        # One retry on a dropped keep-alive connection.
+        for attempt in (1, 2):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(
+                    method, path, body=payload,
+                    headers={"Content-Type": "application/json"} if payload else {},
+                )
+                resp = self._conn.getresponse()
+                raw = resp.read()
+                break
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError):
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            raise ServeError(resp.status, f"non-JSON response: {raw[:200]!r}")
+        if resp.status != 200:
+            raise ServeError(resp.status, doc.get("error", raw[:200].decode("latin-1")))
+        return doc
+
+    # --------------------------------------------------------------- the API
+
+    def healthz(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one spec; returns ``{"job": summary, "dedup": mode}``."""
+        return self._request("POST", "/jobs", spec)
+
+    def submit_batch(self, specs: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Submit many specs in one round-trip; returns per-spec acks
+        (``{"id", "state", "dedup"}``)."""
+        doc = self._request("POST", "/jobs/batch", {"specs": list(specs)})
+        return doc["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None, limit: int = 1000) -> List[Dict[str, Any]]:
+        query = f"?limit={limit}" + (f"&state={state}" if state else "")
+        return self._request("GET", f"/jobs{query}")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None, raise_on_failure: bool = True
+    ) -> Dict[str, Any]:
+        """Long-poll until the job is terminal; returns its detail."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            poll = 30.0
+            if deadline is not None:
+                poll = min(poll, max(0.05, deadline - time.monotonic()))
+            detail = self._request("GET", f"/jobs/{job_id}/wait?timeout={poll:g}")
+            if detail["state"] in ("done", "failed", "cancelled"):
+                if raise_on_failure and detail["state"] != "done":
+                    raise JobFailed(detail)
+                return detail
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {detail['state']} after {timeout:g}s"
+                )
+
+    def wait_many(
+        self, job_ids: Iterable[str], timeout: Optional[float] = None,
+        raise_on_failure: bool = True,
+    ) -> Dict[str, Dict[str, Any]]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        out: Dict[str, Dict[str, Any]] = {}
+        for job_id in job_ids:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            out[job_id] = self.wait(job_id, remaining, raise_on_failure)
+        return out
+
+    def stream(self, job_id: str, after: int = 0) -> Iterator[Dict[str, Any]]:
+        """Follow a job's telemetry stream (own connection); yields
+        event dicts until the service's ``eos`` sentinel (or EOF)."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events?after={after}")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except ValueError:
+                    message = raw[:200].decode("latin-1")
+                raise ServeError(resp.status, message)
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("type") == "eos":
+                    return
+                yield event
+        finally:
+            conn.close()
+
+
+def wait_for_service(url: str, timeout: float = 15.0, interval: float = 0.1) -> ServeClient:
+    """Poll ``/healthz`` until the service answers; returns a client."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        client = ServeClient(url, timeout=min(5.0, timeout))
+        try:
+            if client.healthz():
+                client.timeout = 60.0
+                return client
+        except Exception as exc:  # connection refused while starting
+            last_error = exc
+            client.close()
+        time.sleep(interval)
+    raise RuntimeError(f"service at {url} not healthy after {timeout:g}s: {last_error}")

@@ -1,0 +1,384 @@
+"""Local HTTP/JSON front-end for the job scheduler (stdlib only).
+
+A deliberately small HTTP/1.1 server on raw asyncio streams — no
+framework, no dependencies — because the service only ever binds a
+loopback interface and talks to its own thin client.  Supported
+routes:
+
+======  ===========================  =========================================
+GET     /healthz                     liveness probe
+GET     /stats                       scheduler counters + queue depth
+POST    /jobs                        submit one spec -> job summary + dedup mode
+POST    /jobs/batch                  submit many specs in one round-trip
+GET     /jobs?state=&limit=          list job summaries
+GET     /jobs/<id>                   job detail (spec + result)
+POST    /jobs/<id>/cancel            cancel (immediate if queued)
+GET     /jobs/<id>/wait?timeout=     long-poll until terminal
+GET     /jobs/<id>/events?after=     NDJSON telemetry stream (replay + follow)
+======  ===========================  =========================================
+
+Plain endpoints are keep-alive with ``Content-Length`` framing; the
+``/events`` stream writes one JSON object per line as telemetry
+arrives, then an ``{"type": "eos"}`` sentinel line once the job's
+buffer is closed and drained — the client stops at the sentinel rather
+than waiting for TCP EOF, which forked process-pool workers holding
+inherited socket FDs can delay indefinitely.
+
+:class:`ServiceThread` runs a whole service (scheduler + server) on a
+private event loop in a daemon thread — the harness tests and the
+soak/smoke benchmarks use it to host an in-process service while
+driving it over real sockets.  :func:`spawn_service_subprocess` goes
+one step further and launches ``python -m repro serve`` as a child
+process, parsing the announced URL from its stdout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import threading
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.jobs import SpecError
+from repro.serve.scheduler import JobScheduler, QueueFull, SchedulerConfig
+
+#: Largest accepted request body (64 MiB covers ~200k-spec batches).
+MAX_BODY = 64 << 20
+
+#: Cap on one /jobs listing response.
+LIST_LIMIT = 1000
+
+
+class ServeService:
+    """Asyncio HTTP server wired to one :class:`JobScheduler`."""
+
+    def __init__(self, scheduler: JobScheduler, host: str = "127.0.0.1", port: int = 0):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # --------------------------------------------------------- HTTP plumbing
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                try:
+                    handled = await self._route(method, path, body, writer)
+                except SpecError as exc:
+                    await self._respond_json(writer, 400, {"error": str(exc)})
+                except QueueFull as exc:
+                    await self._respond_json(writer, 503, {"error": str(exc)})
+                except KeyError as exc:
+                    await self._respond_json(
+                        writer, 404, {"error": f"no such job {exc.args[0]!r}"}
+                    )
+                except (ValueError, TypeError) as exc:
+                    await self._respond_json(writer, 400, {"error": str(exc)})
+                else:
+                    if handled == "stream":
+                        break  # streamed responses are close-delimited
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            return None
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            hline = await reader.readline()
+            if not hline or hline in (b"\r\n", b"\n"):
+                break
+            name, _, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip().lower() if name.strip().lower() == "connection" else value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, doc: Any
+    ) -> None:
+        payload = json.dumps(doc).encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 503: "Service Unavailable"}.get(status, "")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"\r\n".encode() + payload
+        )
+        await writer.drain()
+
+    # ---------------------------------------------------------------- routes
+
+    async def _route(
+        self, method: str, raw_path: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> Optional[str]:
+        split = urlsplit(raw_path)
+        path = split.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        sched = self.scheduler
+
+        if method == "GET" and path == "/healthz":
+            await self._respond_json(writer, 200, {"ok": True})
+            return None
+        if method == "GET" and path == "/stats":
+            await self._respond_json(writer, 200, sched.stats())
+            return None
+        if method == "POST" and path == "/jobs":
+            job, mode = sched.submit(self._json_body(body))
+            await self._respond_json(writer, 200, {"job": job.summary(), "dedup": mode})
+            return None
+        if method == "POST" and path == "/jobs/batch":
+            doc = self._json_body(body)
+            specs = doc.get("specs")
+            if not isinstance(specs, list):
+                raise SpecError("batch body must be {'specs': [...]}")
+            acks = []
+            for spec in specs:
+                job, mode = sched.submit(spec)
+                acks.append({"id": job.id, "state": job.state.value, "dedup": mode})
+            await self._respond_json(writer, 200, {"jobs": acks})
+            return None
+        if method == "GET" and path == "/jobs":
+            state = query.get("state")
+            limit = min(int(query.get("limit", LIST_LIMIT)), LIST_LIMIT)
+            rows = []
+            for job in sched.jobs.values():
+                if state and job.state.value != state:
+                    continue
+                rows.append(job.summary())
+                if len(rows) >= limit:
+                    break
+            await self._respond_json(writer, 200, {"jobs": rows})
+            return None
+
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, action = rest.partition("/")
+            job = sched.jobs[job_id]  # KeyError -> 404
+            if method == "GET" and not action:
+                await self._respond_json(writer, 200, job.detail())
+                return None
+            if method == "POST" and action == "cancel":
+                job = sched.cancel(job_id)
+                await self._respond_json(writer, 200, {"job": job.summary()})
+                return None
+            if method == "GET" and action == "wait":
+                timeout = min(float(query.get("timeout", 30.0)), 300.0)
+                await job.events.wait_closed(timeout)
+                await self._respond_json(writer, 200, job.detail())
+                return None
+            if method == "GET" and action == "events":
+                await self._stream_events(writer, job, int(query.get("after", 0)))
+                return "stream"
+
+        await self._respond_json(
+            writer, 405 if path in ("/jobs", "/stats", "/healthz") else 404,
+            {"error": f"no route for {method} {path}"},
+        )
+        return None
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, Any]:
+        if not body:
+            raise SpecError("expected a JSON body")
+        try:
+            doc = json.loads(body)
+        except ValueError as exc:
+            raise SpecError(f"invalid JSON body: {exc}")
+        if not isinstance(doc, dict):
+            raise SpecError("JSON body must be an object")
+        return doc
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job, after: int
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+        async for event in job.events.stream(after):
+            writer.write(json.dumps(event).encode() + b"\n")
+            await writer.drain()
+        # Explicit end-of-stream sentinel: forked process-pool workers
+        # inherit duplicates of this socket, so the client cannot rely
+        # on TCP EOF arriving promptly when we close our end.
+        writer.write(b'{"type": "eos"}\n')
+        await writer.drain()
+
+
+async def run_service(
+    config: Optional[SchedulerConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    announce=print,
+    stop_event: Optional[asyncio.Event] = None,
+) -> Dict[str, Any]:
+    """Run scheduler + server until ``stop_event`` (or forever).
+
+    Returns the final scheduler stats once stopped.  ``announce`` is
+    called once with the listening line (parsed by
+    :func:`spawn_service_subprocess`).
+    """
+    scheduler = JobScheduler(config)
+    await scheduler.start()
+    service = ServeService(scheduler, host, port)
+    await service.start()
+    announce(
+        f"repro-serve listening on {service.url} "
+        f"({scheduler.config.workers} workers)"
+    )
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    await stop_event.wait()
+    await service.stop()
+    await scheduler.stop()
+    return scheduler.stats()
+
+
+class ServiceThread:
+    """A whole service on a private event loop in a daemon thread."""
+
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.config = config
+        self.host = host
+        self.port = port
+        self.url: Optional[str] = None
+        self.scheduler: Optional[JobScheduler] = None
+        self.final_stats: Optional[Dict[str, Any]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> str:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        assert self.url is not None
+        return self.url
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced via start() or ignored at exit
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        scheduler = JobScheduler(self.config)
+        await scheduler.start()
+        service = ServeService(scheduler, self.host, self.port)
+        await service.start()
+        self.scheduler = scheduler
+        self.port = service.port
+        self.url = service.url
+        self._ready.set()
+        await self._stop_event.wait()
+        await service.stop()
+        await scheduler.stop()
+        self.final_stats = scheduler.stats()
+
+    def stop(self, timeout: float = 10.0) -> Optional[Dict[str, Any]]:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        return self.final_stats
+
+
+def spawn_service_subprocess(
+    args: Optional[list] = None, timeout: float = 30.0
+) -> Tuple[subprocess.Popen, str]:
+    """Launch ``python -m repro serve`` and return ``(proc, url)``.
+
+    The child binds an ephemeral port and announces it on stdout; this
+    parses the announcement.  Callers terminate the child themselves
+    (SIGINT/terminate) when done.
+    """
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0"] + list(args or [])
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    assert proc.stdout is not None
+    deadline = threading.Event()
+    line_holder: Dict[str, str] = {}
+
+    def _read():
+        # Keep draining stdout after the announcement so the child can
+        # never block on a full pipe.
+        for line in proc.stdout:
+            if "url" not in line_holder and "repro-serve listening on" in line:
+                line_holder["url"] = line.split("listening on", 1)[1].split()[0]
+                deadline.set()
+        deadline.set()
+
+    reader = threading.Thread(target=_read, daemon=True)
+    reader.start()
+    if not deadline.wait(timeout) or "url" not in line_holder:
+        proc.terminate()
+        raise RuntimeError("repro serve subprocess did not announce a URL")
+    return proc, line_holder["url"]

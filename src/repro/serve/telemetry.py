@@ -1,0 +1,131 @@
+"""Per-job streaming telemetry: an append-only event channel.
+
+Every :class:`~repro.serve.jobs.Job` owns one :class:`EventBuffer`.
+Producers (the scheduler and its workers) ``emit`` typed events —
+``state`` lifecycle edges, ``metrics`` :class:`MetricsSnapshot`
+deltas, ``spans`` trace chunks, ``progress`` markers — and any number
+of consumers replay + follow them concurrently via :meth:`stream`
+(which backs the ``GET /jobs/<id>/events`` NDJSON endpoint).
+
+Design constraints:
+
+* **Single-threaded writes.**  ``emit`` must be called on the service
+  event loop; worker threads hand events over with
+  ``loop.call_soon_threadsafe(buf.emit, ...)``.  This keeps the buffer
+  lock-free.
+* **Late subscribers replay.**  Events carry monotonically increasing
+  ``seq`` numbers; a subscriber passes ``after`` and receives
+  everything it missed before going live.
+* **Bounded memory.**  At most ``maxlen`` events are retained; older
+  ones are dropped oldest-first and counted in :attr:`dropped` (the
+  same honesty contract as :class:`~repro.obs.spans.SpanTracer`).
+* **Clean termination.**  :meth:`close` wakes every follower; a
+  closed, drained stream ends instead of blocking forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, AsyncIterator, Dict, List, Optional
+
+
+class EventBuffer:
+    """Append-only, replayable, asyncio-followable event log."""
+
+    def __init__(self, maxlen: int = 4096):
+        self._events: List[Dict[str, Any]] = []
+        self._first_seq = 1  # seq of _events[0]
+        self._seq = 0
+        self._maxlen = maxlen
+        self._closed = False
+        self.dropped = 0
+        self._wakeup: Optional[asyncio.Event] = None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def _notify(self) -> None:
+        # Followers grab the *current* Event object before sleeping;
+        # replacing it on every notify means a set() can never be
+        # missed by a later sleeper.
+        w = self._wakeup
+        if w is not None:
+            self._wakeup = None
+            w.set()
+
+    def emit(self, type_: str, data: Dict[str, Any]) -> None:
+        """Append one event.  Must run on the service event loop."""
+        if self._closed:
+            return
+        self._seq += 1
+        self._events.append(
+            {"seq": self._seq, "ts": time.time(), "type": type_, "data": data}
+        )
+        if len(self._events) > self._maxlen:
+            del self._events[0]
+            self._first_seq += 1
+            self.dropped += 1
+        self._notify()
+
+    def close(self) -> None:
+        self._closed = True
+        self._notify()
+
+    def since(self, after_seq: int) -> List[Dict[str, Any]]:
+        """Every retained event with ``seq > after_seq``."""
+        if not self._events:
+            return []
+        start = max(0, after_seq - self._first_seq + 1)
+        return self._events[start:]
+
+    def last(self, type_: str) -> Optional[Dict[str, Any]]:
+        """The most recent retained event of one type (or None)."""
+        for evt in reversed(self._events):
+            if evt["type"] == type_:
+                return evt
+        return None
+
+    async def stream(self, after_seq: int = 0) -> AsyncIterator[Dict[str, Any]]:
+        """Replay events after ``after_seq``, then follow live emissions
+        until the buffer is closed and drained."""
+        while True:
+            if self._wakeup is None:
+                self._wakeup = asyncio.Event()
+            wakeup = self._wakeup
+            batch = self.since(after_seq)
+            if batch:
+                after_seq = batch[-1]["seq"]
+                for evt in batch:
+                    yield evt
+                continue
+            if self._closed:
+                return
+            await wakeup.wait()
+
+    async def wait_closed(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`close` (True) or ``timeout`` (False)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._closed:
+            if self._wakeup is None:
+                self._wakeup = asyncio.Event()
+            wakeup = self._wakeup
+            if deadline is None:
+                await wakeup.wait()
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            try:
+                await asyncio.wait_for(wakeup.wait(), remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True

@@ -1,14 +1,17 @@
 """Unit coverage for the cached sweep runner's reporting surface:
 engine-total aggregation over the analytic-tier counters, the
-``--profile`` breakdown, and the cache-invalidation fingerprint."""
+``--profile`` breakdown, the cache-invalidation fingerprint, and the
+disk-cache key/store semantics shared with ``repro serve``."""
 
 import repro.bench.runner as runner_mod
 from repro.bench.runner import (
     PROFILE_TIER_KEYS,
     SweepReport,
+    SweepRunner,
     TargetResult,
     _profile_from_stats,
     code_fingerprint,
+    target_cache_key,
 )
 
 
@@ -65,6 +68,63 @@ def test_code_fingerprint_changes_with_content(tmp_path, monkeypatch):
     before = code_fingerprint()
     mod.write_bytes(b"x = 2\n")
     assert code_fingerprint() != before
+
+
+def test_target_cache_key_varies_with_every_input():
+    base = target_cache_key("fig6a", quick=True, profile=False, fingerprint="fp")
+    variants = {
+        base,
+        target_cache_key("fig6b", quick=True, profile=False, fingerprint="fp"),
+        target_cache_key("fig6a", quick=False, profile=False, fingerprint="fp"),
+        target_cache_key("fig6a", quick=True, profile=True, fingerprint="fp"),
+        target_cache_key("fig6a", quick=True, profile=False, fingerprint="fp2"),
+    }
+    assert len(variants) == 5
+
+
+def test_runner_cache_key_is_the_shared_target_key(tmp_path):
+    runner = SweepRunner(tmp_path, jobs=1, quick=True, profile=True)
+    assert runner.cache_key("fig6a") == target_cache_key(
+        "fig6a", quick=True, profile=True, fingerprint=runner.fingerprint
+    )
+    assert runner._cache_path("fig6a").name == f"{runner.cache_key('fig6a')}.json"
+
+
+def _record(exp_id="fig6a", error=None):
+    return {
+        "exp_id": exp_id,
+        "wall_seconds": 0.5,
+        "output_sha256": "abc",
+        "sim_stats": {"processed": 1},
+        "error": error,
+        "metrics": {},
+    }
+
+
+def test_store_then_lookup_roundtrip_is_atomic(tmp_path):
+    runner = SweepRunner(tmp_path, jobs=1, quick=True)
+    runner._store(_record())
+    hit = runner._lookup("fig6a")
+    assert hit is not None and hit.cached and hit.output_sha256 == "abc"
+    # Write-then-rename must leave no temp droppings beside the record.
+    assert [p.name for p in tmp_path.iterdir()] == [
+        runner._cache_path("fig6a").name
+    ]
+
+
+def test_store_never_caches_failures(tmp_path):
+    runner = SweepRunner(tmp_path, jobs=1, quick=True)
+    runner._store(_record(error="ValueError: boom"))
+    assert runner._lookup("fig6a") is None
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_lookup_ignores_other_flag_variants(tmp_path):
+    quick = SweepRunner(tmp_path, jobs=1, quick=True)
+    quick._store(_record())
+    full = SweepRunner(tmp_path, jobs=1, quick=False)
+    assert quick._lookup("fig6a") is not None
+    assert full._lookup("fig6a") is None
 
 
 def test_code_fingerprint_framing_is_unambiguous(tmp_path, monkeypatch):

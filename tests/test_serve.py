@@ -1,0 +1,490 @@
+"""Coverage for the ``repro serve`` subsystem: job lifecycle edges,
+dedup-key semantics, scheduler behaviour (coalescing, memo, cancel,
+timeout, bounded retry, priority), the HTTP wire surface, and the
+streamed-telemetry acceptance contract."""
+
+import asyncio
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import SweepRunner, target_cache_key
+from repro.reporting.artifacts import (
+    artifact_doc,
+    read_json_artifact,
+    write_json_artifact,
+)
+from repro.reporting.experiments import run_experiment
+from repro.serve.client import JobFailed, ServeClient, ServeError
+from repro.serve.jobs import (
+    InvalidTransition,
+    Job,
+    JobState,
+    SpecError,
+    dedup_key_for,
+    validate_spec,
+)
+from repro.serve.scheduler import JobScheduler, QueueFull, SchedulerConfig
+from repro.serve.server import ServiceThread
+from repro.serve.telemetry import EventBuffer
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def scheduler_session(body, **config):
+    """Start a scheduler, run ``body(sched)``, always stop it."""
+    config.setdefault("workers", 2)
+    sched = JobScheduler(SchedulerConfig(**config))
+    await sched.start()
+    try:
+        return await body(sched)
+    finally:
+        await sched.stop()
+
+
+async def wait_terminal(job, timeout=30.0):
+    assert await job.events.wait_closed(timeout), f"job stuck in {job.state}"
+    return job
+
+
+# --------------------------------------------------------------- lifecycle
+
+
+def test_lifecycle_legal_path_and_telemetry():
+    job = Job(id="j1", kind="synthetic", spec={})
+    job.advance(JobState.RUNNING)
+    assert job.started_at is not None
+    job.advance(JobState.DONE)
+    assert job.state.terminal and job.finished_at is not None
+    states = [e["data"]["state"] for e in job.events.since(0) if e["type"] == "state"]
+    assert states == ["running", "done"]
+    assert job.events.closed
+
+
+@pytest.mark.parametrize("start,bad", [
+    (JobState.QUEUED, JobState.FAILED),   # failures only happen while running
+    (JobState.DONE, JobState.RUNNING),    # terminal states are final
+    (JobState.CANCELLED, JobState.QUEUED),
+    (JobState.FAILED, JobState.DONE),
+])
+def test_lifecycle_illegal_edges_raise(start, bad):
+    job = Job(id="j1", kind="synthetic", spec={}, state=start)
+    with pytest.raises(InvalidTransition):
+        job.advance(bad)
+    assert job.state is start  # never half-updated
+
+
+def test_lifecycle_cache_hit_and_retry_edges_are_legal():
+    hit = Job(id="j1", kind="sweep", spec={})
+    hit.advance(JobState.DONE)  # QUEUED -> DONE: the dedup cache-hit edge
+    retry = Job(id="j2", kind="check", spec={}, state=JobState.RUNNING)
+    retry.advance(JobState.QUEUED)  # RUNNING -> QUEUED: the bounded-retry edge
+
+
+# --------------------------------------------------------------- dedup keys
+
+
+def test_sweep_dedup_key_is_the_sweep_runner_cache_key(tmp_path):
+    runner = SweepRunner(tmp_path, jobs=1, quick=True)
+    spec = {"kind": "sweep", "experiment": "fig6a", "quick": True}
+    key = dedup_key_for("sweep", spec, runner.fingerprint)
+    assert key == runner.cache_key("fig6a")
+    assert key == target_cache_key(
+        "fig6a", quick=True, profile=False, fingerprint=runner.fingerprint
+    )
+
+
+def test_dedup_key_variants_are_distinct():
+    base = {"kind": "sweep", "experiment": "fig6a", "quick": True}
+    keys = {
+        dedup_key_for("sweep", base, "fp"),
+        dedup_key_for("sweep", {**base, "profile": True}, "fp"),
+        dedup_key_for("sweep", {**base, "quick": False}, "fp"),
+        dedup_key_for("sweep", {**base, "experiment": "fig6b"}, "fp"),
+        dedup_key_for("sweep", base, "other-fingerprint"),
+    }
+    assert len(keys) == 5
+
+    check = {"kind": "check", "seed": 7}
+    assert dedup_key_for("check", check, "fp") != dedup_key_for(
+        "check", {**check, "faults": True}, "fp"
+    )
+    assert dedup_key_for("check", check, "fp") != dedup_key_for(
+        "check", {**check, "seed": 8}, "fp"
+    )
+
+
+def test_synthetic_key_ignores_fingerprint_but_not_payload():
+    spec = {"kind": "synthetic", "key": "a"}
+    assert dedup_key_for("synthetic", spec, "fp1") == dedup_key_for(
+        "synthetic", spec, "fp2"
+    )
+    assert dedup_key_for("synthetic", spec, "") != dedup_key_for(
+        "synthetic", {"kind": "synthetic", "key": "b"}, ""
+    )
+
+
+def test_validate_spec_rejects_malformed():
+    with pytest.raises(SpecError):
+        validate_spec({"kind": "nope"})
+    with pytest.raises(SpecError):
+        validate_spec({"kind": "sweep"})  # no experiment
+    with pytest.raises(SpecError):
+        validate_spec({"kind": "check", "seed": "seven"})
+    with pytest.raises(SpecError):
+        validate_spec({"kind": "synthetic", "priority": "high"})
+    assert validate_spec({"kind": "synthetic"}) == "synthetic"
+
+
+# --------------------------------------------------------------- scheduler
+
+
+def test_duplicate_submissions_coalesce_to_one_execution():
+    async def body(sched):
+        spec = {"kind": "synthetic", "key": "dup", "sleep": 0.05}
+        first, mode_a = sched.submit(dict(spec))
+        second, mode_b = sched.submit(dict(spec))
+        assert (mode_a, mode_b) == ("new", "coalesced")
+        assert second is first and first.coalesced == 1
+        await wait_terminal(first)
+        assert first.state is JobState.DONE
+        # A third submission after completion answers from the memo.
+        third, mode_c = sched.submit(dict(spec))
+        assert mode_c == "cached" and third is first
+        assert sched.counters["executed"] == 1
+        assert sched.counters["submitted"] == 3
+
+    run_async(scheduler_session(body))
+
+
+def test_cancel_queued_job_is_immediate():
+    async def body(sched):
+        # Occupy the single worker so the next job stays queued.
+        blocker, _ = sched.submit({"kind": "synthetic", "key": "b", "sleep": 5})
+        queued, _ = sched.submit({"kind": "synthetic", "key": "q", "sleep": 5})
+        await asyncio.sleep(0.05)
+        assert queued.state is JobState.QUEUED
+        sched.cancel(queued.id)
+        assert queued.state is JobState.CANCELLED
+        sched.cancel(blocker.id)
+        await wait_terminal(blocker)
+        assert blocker.state is JobState.CANCELLED
+        assert sched.counters["cancelled"] == 2
+
+    run_async(scheduler_session(body, workers=1))
+
+
+def test_cancel_running_job_is_cooperative():
+    async def body(sched):
+        job, _ = sched.submit({"kind": "synthetic", "key": "r", "sleep": 30})
+        await asyncio.sleep(0.05)
+        assert job.state is JobState.RUNNING
+        sched.cancel(job.id)
+        await wait_terminal(job)
+        assert job.state is JobState.CANCELLED
+
+    run_async(scheduler_session(body))
+
+
+def test_timeout_fails_the_job():
+    async def body(sched):
+        job, _ = sched.submit(
+            {"kind": "synthetic", "key": "slow", "sleep": 30, "timeout": 0.05}
+        )
+        await wait_terminal(job)
+        assert job.state is JobState.FAILED
+        assert "timeout" in job.error
+        assert sched.counters["timeouts"] == 1
+
+    run_async(scheduler_session(body))
+
+
+def test_bounded_retry_for_fault_flagged_jobs():
+    async def body(sched):
+        job, _ = sched.submit(
+            {"kind": "synthetic", "key": "flaky", "fail_attempts": 1, "faults": True}
+        )
+        await wait_terminal(job)
+        assert job.state is JobState.DONE and job.attempts == 2
+        assert sched.counters["retried"] == 1
+        # Without the faults flag the same failure is terminal.
+        dead, _ = sched.submit(
+            {"kind": "synthetic", "key": "dead", "fail_attempts": 1}
+        )
+        await wait_terminal(dead)
+        assert dead.state is JobState.FAILED and dead.attempts == 1
+
+    run_async(scheduler_session(body, retry_limit=2))
+
+
+def test_retry_budget_exhaustion_fails():
+    async def body(sched):
+        job, _ = sched.submit(
+            {"kind": "synthetic", "key": "hopeless", "fail_attempts": 99, "faults": True}
+        )
+        await wait_terminal(job)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 3  # first try + retry_limit retries
+
+    run_async(scheduler_session(body, retry_limit=2))
+
+
+def test_priority_orders_the_queue():
+    async def body(sched):
+        order = []
+        blocker, _ = sched.submit({"kind": "synthetic", "key": "block", "sleep": 0.2})
+        low, _ = sched.submit({"kind": "synthetic", "key": "low", "priority": 0})
+        high, _ = sched.submit({"kind": "synthetic", "key": "high", "priority": 50})
+        for job in (low, high):
+            async def tag(j=job):
+                await j.events.wait_closed(10)
+                order.append(j.id)
+            asyncio.ensure_future(tag())
+        for job in (blocker, low, high):
+            await wait_terminal(job)
+        await asyncio.sleep(0.01)
+        assert order == [high.id, low.id]
+
+    run_async(scheduler_session(body, workers=1))
+
+
+def test_queue_full_rejects():
+    async def body(sched):
+        sched.submit({"kind": "synthetic", "key": "a", "sleep": 5})
+        sched.submit({"kind": "synthetic", "key": "b", "sleep": 5})
+        with pytest.raises(QueueFull):
+            for i in range(5):
+                sched.submit({"kind": "synthetic", "key": f"c{i}", "sleep": 5})
+        assert sched.counters["rejected"] == 1
+
+    run_async(scheduler_session(body, workers=1, max_queue=2))
+
+
+def test_metrics_event_precedes_terminal_state_and_matches_result():
+    async def body(sched):
+        job, _ = sched.submit({"kind": "synthetic", "key": "m", "rounds": 3})
+        await wait_terminal(job)
+        events = job.events.since(0)
+        types = [e["type"] for e in events]
+        assert types.index("metrics") < types.index("state", 1)
+        streamed = [e for e in events if e["type"] == "metrics"][-1]["data"]
+        assert streamed == job.result["metrics"]
+
+    run_async(scheduler_session(body))
+
+
+# ------------------------------------------------- real sweep via scheduler
+
+
+def test_sweep_job_is_bit_identical_and_seeds_the_disk_cache(tmp_path):
+    local_sha = hashlib.sha256(
+        run_experiment("fig6a", quick=True).encode()
+    ).hexdigest()
+
+    async def body(sched):
+        spec = {"kind": "sweep", "experiment": "fig6a", "quick": True}
+        job, mode = sched.submit(dict(spec))
+        assert mode == "new"
+        await wait_terminal(job, timeout=120)
+        assert job.state is JobState.DONE, job.error
+        assert job.result["output_sha256"] == local_sha
+        again, mode2 = sched.submit(dict(spec))
+        assert mode2 == "cached" and again is job
+
+    run_async(scheduler_session(body, cache_dir=tmp_path, sim_processes=1))
+
+    # A fresh scheduler over the same cache dir answers from disk
+    # without executing anything.
+    async def fresh(sched):
+        job, mode = sched.submit({"kind": "sweep", "experiment": "fig6a", "quick": True})
+        assert mode == "cached" and job.cached
+        assert job.state is JobState.DONE
+        assert job.result["output_sha256"] == local_sha
+        assert sched.counters["cached_disk"] == 1
+        assert sched.counters["executed"] == 0
+
+    run_async(scheduler_session(fresh, cache_dir=tmp_path, sim_processes=1))
+
+    # And the record on disk is the sweep runner's own cache entry.
+    runner = SweepRunner(tmp_path, jobs=1, quick=True)
+    hit = runner._lookup("fig6a")
+    assert hit is not None and hit.output_sha256 == local_sha
+
+
+def test_unknown_experiment_fails_cleanly():
+    async def body(sched):
+        job, _ = sched.submit({"kind": "sweep", "experiment": "fig99", "quick": True})
+        await wait_terminal(job)
+        assert job.state is JobState.FAILED
+        assert "fig99" in job.error
+
+    run_async(scheduler_session(body))
+
+
+# ------------------------------------------------------------- HTTP surface
+
+
+@pytest.fixture()
+def service(tmp_path):
+    thread = ServiceThread(SchedulerConfig(workers=2, cache_dir=tmp_path))
+    url = thread.start()
+    client = ServeClient(url, timeout=30.0)
+    try:
+        yield client
+    finally:
+        client.close()
+        thread.stop()
+
+
+def test_http_submit_wait_and_stream(service):
+    assert service.healthz()
+    ack = service.submit({"kind": "synthetic", "key": "http", "rounds": 2})
+    assert ack["dedup"] == "new"
+    job_id = ack["job"]["id"]
+    detail = service.wait(job_id, timeout=30)
+    assert detail["state"] == "done"
+    assert detail["result"]["rounds"] == 2
+    # Replayed stream: running/metrics/done, and the streamed metrics
+    # snapshot equals the final result's metrics.
+    events = list(service.stream(job_id))
+    states = [e["data"]["state"] for e in events if e["type"] == "state"]
+    assert states[-1] == "done"
+    metrics = [e["data"] for e in events if e["type"] == "metrics"]
+    assert metrics and metrics[-1] == detail["result"]["metrics"]
+
+
+def test_http_batch_dedup_modes(service):
+    specs = [{"kind": "synthetic", "key": f"k{i % 2}"} for i in range(6)]
+    acks = service.submit_batch(specs)
+    assert len(acks) == 6
+    assert sum(1 for a in acks if a["dedup"] == "new") == 2
+    assert len({a["id"] for a in acks}) == 2
+    ids = {a["id"] for a in acks}
+    details = service.wait_many(ids, timeout=30)
+    assert all(d["state"] == "done" for d in details.values())
+    stats = service.stats()
+    assert stats["counters"]["submitted"] == 6
+    assert stats["counters"]["unique"] == 2
+
+
+def test_http_cancel_and_errors(service):
+    ack = service.submit({"kind": "synthetic", "key": "naptime", "sleep": 60})
+    job = service.cancel(ack["job"]["id"])
+    assert job["state"] in ("cancelled", "running")
+    detail = service.wait(ack["job"]["id"], timeout=30, raise_on_failure=False)
+    assert detail["state"] == "cancelled"
+
+    with pytest.raises(ServeError) as err:
+        service.job("j99999999")
+    assert err.value.status == 404
+    with pytest.raises(ServeError) as err:
+        service.submit({"kind": "bogus"})
+    assert err.value.status == 400
+    with pytest.raises(JobFailed):
+        service.wait(ack["job"]["id"], timeout=30)
+
+
+# ------------------------------------------------------------ event buffer
+
+
+def test_event_buffer_replay_last_and_drop_accounting():
+    async def body():
+        buf = EventBuffer(maxlen=4)
+        for i in range(6):
+            buf.emit("tick", {"i": i})
+        assert len(buf) == 4
+        assert buf.dropped == 2
+        assert [e["data"]["i"] for e in buf.since(0)] == [2, 3, 4, 5]
+        assert buf.last("tick")["data"]["i"] == 5
+        assert buf.last("nope") is None
+        buf.close()
+        got = [e async for e in buf.stream(0)]
+        assert [e["data"]["i"] for e in got] == [2, 3, 4, 5]
+
+    run_async(body())
+
+
+def test_event_buffer_stream_follows_live_emits():
+    async def body():
+        buf = EventBuffer()
+        got = []
+
+        async def follow():
+            async for event in buf.stream(0):
+                got.append(event["data"]["i"])
+
+        task = asyncio.ensure_future(follow())
+        await asyncio.sleep(0)
+        for i in range(3):
+            buf.emit("tick", {"i": i})
+            await asyncio.sleep(0)
+        buf.close()
+        await asyncio.wait_for(task, 5)
+        assert got == [0, 1, 2]
+
+    run_async(body())
+
+
+# -------------------------------------------------------- artifact helpers
+
+
+def test_artifact_roundtrip_and_schema_check(tmp_path):
+    path = tmp_path / "x.json"
+    write_json_artifact(path, artifact_doc("soak", {"n": 1}))
+    doc = read_json_artifact(path, kind="soak")
+    assert doc["schema"] == "repro/soak/v1" and doc["n"] == 1
+    with pytest.raises(ValueError):
+        read_json_artifact(path, kind="other")
+    with pytest.raises(ValueError):
+        artifact_doc("bad/kind", {})
+    with pytest.raises(ValueError):
+        artifact_doc("k", {"schema": "clash"})
+
+
+def test_artifact_write_is_atomic_no_tmp_droppings(tmp_path):
+    path = tmp_path / "a.json"
+    for i in range(3):
+        write_json_artifact(path, {"i": i})
+    assert json.loads(path.read_text()) == {"i": 2}
+    assert [p.name for p in tmp_path.iterdir()] == ["a.json"]
+
+
+# ------------------------------------------------------------- CLI surface
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=120,
+        cwd=REPO, env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+    )
+
+
+def test_cli_no_command_prints_usage_and_exits_nonzero():
+    proc = run_cli()
+    assert proc.returncode == 2
+    for command in ("list", "run", "trace", "check", "serve", "submit"):
+        assert command in proc.stderr
+    assert "usage:" in proc.stderr
+
+
+def test_cli_unknown_command_prints_usage_and_exits_nonzero():
+    proc = run_cli("frobnicate")
+    assert proc.returncode == 2
+    assert "unknown command 'frobnicate'" in proc.stderr
+    assert "usage:" in proc.stderr
+
+
+def test_cli_help_prints_usage_and_exits_zero():
+    proc = run_cli("--help")
+    assert proc.returncode == 0
+    assert "usage:" in proc.stdout and "serve" in proc.stdout
