@@ -45,8 +45,14 @@ from repro.reporting.experiments import EXPERIMENTS  # noqa: E402
 #: "Performance engineering").
 TIER1_BASELINE_SECONDS = 20.6
 
-#: A fast, representative subset for CI smoke runs.
-SMOKE_TARGETS = ["table2", "fig6b", "fig8b", "fig8d", "fig9b", "fig10"]
+#: A fast, representative subset for CI smoke runs.  The four-way
+#: targets keep the three existing designs in the same comparison as
+#: device-initiated, so a regression in any of them shows up in the
+#: perf-smoke baseline.
+SMOKE_TARGETS = [
+    "table2", "fig6b", "fig8b", "fig8d", "fig9b", "fig10",
+    "fig6a4", "fig8a4", "fig8b4",
+]
 
 
 #: Golden Fig 8 enhanced-gdr D-D put end time (tests/test_fastpath.py).

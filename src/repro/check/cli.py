@@ -23,6 +23,7 @@ import sys
 import time
 from typing import Optional
 
+from repro.shmem.designs import design_names
 from repro.units import MiB
 
 
@@ -34,7 +35,7 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.A
     p.add_argument("--seed-start", type=int, default=0)
     p.add_argument("--ops", type=int, default=14, help="target op count per workload")
     p.add_argument("--faults", action="store_true", help="arm the seeded fault plan")
-    p.add_argument("--design", choices=["naive", "host-pipeline", "enhanced-gdr"],
+    p.add_argument("--design", choices=list(design_names()),
                    default=None, help="pin the runtime design (default: seeded draw)")
     p.add_argument("--nodes", type=int, default=None)
     p.add_argument("--pes-per-node", type=int, default=None)

@@ -43,7 +43,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.units import KiB, MiB
 
-DESIGNS = ("naive", "host-pipeline", "enhanced-gdr")
+# Appended in registration order: extending this tuple keeps earlier
+# seeds' rng draws stable (Random.choice indexes into the sequence).
+DESIGNS = ("naive", "host-pipeline", "enhanced-gdr", "device-initiated")
 
 #: (nodes, pes_per_node) shapes the generator draws from; 2-8 PEs.
 TOPOLOGIES = ((1, 2), (1, 4), (2, 1), (2, 2), (2, 3), (2, 4))

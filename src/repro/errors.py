@@ -91,6 +91,13 @@ class LinkDown(ReproError):
     can attribute the fault to a path without string parsing.
     """
 
-    def __init__(self, message: str = "", direction=None):
+    def __init__(self, message: str = "", direction=None, in_flight: bool = False):
         super().__init__(message)
         self.direction = direction
+        #: True when the failure was observed *after* the wire hold
+        #: completed (payload lost mid-transfer) rather than at
+        #: request/grant time.  The RC transport uses this to keep its
+        #: retransmission ledger exact: an in-flight attempt already
+        #: charged a full wire crossing, an acquire-time one charged
+        #: none.
+        self.in_flight = in_flight

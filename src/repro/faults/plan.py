@@ -135,6 +135,17 @@ class FaultPlan:
         self.stalls.append(HcaStall(at, duration, node, hca))
         return self
 
+    def stall_device_doorbell(
+        self, *, at: float, duration: float, node: int = 0, hca: int = 0
+    ) -> "FaultPlan":
+        """Stall servicing of device-rung doorbells (device-initiated
+        design): the GPU thread's MMIO write lands, but the HCA does
+        not start the WQE until the stall lifts.  On this simulated
+        hardware that is indistinguishable from the HCA itself
+        stalling, so it maps onto the same injector as
+        :meth:`stall_hca` — delay only, nothing is lost."""
+        return self.stall_hca(at=at, duration=duration, node=node, hca=hca)
+
     def cq_error_burst(
         self, *, at: float, duration: float, max_errors: int = 1
     ) -> "FaultPlan":

@@ -309,6 +309,7 @@ class TransferSpec:
                     raise LinkDown(
                         f"link direction {d.name} failed mid-transfer; payload lost",
                         direction=d,
+                        in_flight=True,
                     )
             for d in directions:
                 d.bytes_moved += self.nbytes
@@ -413,6 +414,10 @@ class AnalyticTransfer:
         self._fire(exc=exc)
 
     def _acquire(self, ev: Optional[Event]) -> None:
+        # One resource request per scheduler step — granted requests
+        # re-enter from their own pop, matching the generator's
+        # ``yield req`` cadence (see AnalyticFlow._acquire for why
+        # inline chaining flips FIFO grants under 3-way contention).
         if self._dead:
             return
         dirs = self.dirs
@@ -424,26 +429,19 @@ class AnalyticTransfer:
             if d.blocks(spec.leg_label(d)):
                 self._die(LinkDown(f"link direction {d.name} went down", direction=d))
                 return
-        n = len(dirs)
-        while i < n:
+        if i < len(dirs):
             d = dirs[i]
             if d.blocks(spec.leg_label(d)):
                 self._die(LinkDown(f"link direction {d.name} is down", direction=d))
                 return
             req = d.resource.request()
             granted.append((d, req))
-            i += 1
-            if not req._triggered:
-                self._idx = i
-                if not self.contended:
-                    self.contended = True
-                    self.sim.stats.contended_windows += 1
-                req.callbacks.append(self._acquire)
-                return
-            if d.blocks(spec.leg_label(d)):
-                self._die(LinkDown(f"link direction {d.name} went down", direction=d))
-                return
-        self._idx = i
+            self._idx = i + 1
+            if not req._triggered and not self.contended:
+                self.contended = True
+                self.sim.stats.contended_windows += 1
+            req.callbacks.append(self._acquire)
+            return
         self._marks = [(d, d.fail_mark) for d in dirs]
         sim = self.sim
         end = sim.wake_at_lane(sim.now + self.duration, name="an-x:end")
@@ -459,6 +457,7 @@ class AnalyticTransfer:
                     LinkDown(
                         f"link direction {d.name} failed mid-transfer; payload lost",
                         direction=d,
+                        in_flight=True,
                     )
                 )
                 return

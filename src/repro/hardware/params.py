@@ -104,6 +104,19 @@ class HardwareParams:
     shmem_dispatch_overhead: float = usec(0.20)
     #: Address translation + descriptor lookup from the init-time table.
     shmem_lookup_overhead: float = usec(0.10)
+    #: Device-initiated design: per-op issue slot inside a running
+    #: kernel (queue a descriptor + ring the doorbell from a GPU
+    #: thread) — replaces ``shmem_dispatch_overhead`` once the
+    #: persistent kernel is warm (``kernel_launch_overhead`` covers the
+    #: one-time warm-up per PE).
+    device_issue_overhead: float = usec(0.08)
+    #: Device-initiated design: device-side symmetric-heap translation
+    #: (the table lives in device memory) — replaces
+    #: ``shmem_lookup_overhead``.
+    device_translate_overhead: float = usec(0.02)
+    #: Device-initiated design: quiet/fence executed device-side
+    #: (flush the in-kernel descriptor queue + memory fence).
+    device_quiet_overhead: float = usec(0.15)
     #: Host-Pipeline runtime handshake per message (rendezvous/notify).
     pipeline_handshake_overhead: float = usec(4.20)
     #: Time for the target process to notice and service a pipeline stage

@@ -54,6 +54,16 @@ class RCTransport:
         """
         sim = self.sim
         attempt = 0
+        # Span ledger: how many times this WR actually held the wire
+        # (fired its hold event).  A successful attempt holds once; an
+        # in-flight loss held the wire before failing; an acquire-time
+        # loss never held it.  One ``rdma_write`` call opens one span
+        # but fires one hold *per wire crossing*, so the surplus
+        # (retransmitted holds) and the deficit (zero-hold aborts) are
+        # tallied here — the single place both asymmetries originate —
+        # for the span-parity oracle to reconcile.
+        holds = 0
+        is_write = spec.label == "rdma_write"
         while True:
             if hca is not None:
                 wait = hca.stall_remaining(sim.now)
@@ -65,6 +75,8 @@ class RCTransport:
             except LinkDown as exc:
                 attempt += 1
                 sim.stats.retries += 1
+                if exc.in_flight:
+                    holds += 1
                 direction = exc.direction
                 if direction is not None:
                     name = direction.name
@@ -74,6 +86,11 @@ class RCTransport:
                 if attempt > self.retry_cnt:
                     if self.health is not None and direction is not None:
                         self.health.record_failure(direction.name, sim.now)
+                    if is_write:
+                        if holds == 0:
+                            sim.stats.rc_aborted_wrs += 1
+                        elif holds > 1:
+                            sim.stats.rc_retx_holds += holds - 1
                     raise RetryExceeded(
                         f"{spec.label}: {attempt} attempts exhausted "
                         f"retry_cnt={self.retry_cnt} ({exc})",
@@ -83,6 +100,9 @@ class RCTransport:
                 delay = self.timeout * self.backoff ** (attempt - 1)
                 yield sim.timeout(delay, name="rc:backoff")
                 continue
+            holds += 1
+            if is_write and holds > 1:
+                sim.stats.rc_retx_holds += holds - 1
             if self.health is not None:
                 now = sim.now
                 for d in spec.directions():

@@ -19,7 +19,7 @@ from repro.bench.overlap import overlap_percentage, overlap_sweep
 from repro.bench.p2p import p2p_bandwidth_probe
 from repro.bench.verbs_level import table2_probe
 from repro.reporting.format import format_series, format_table
-from repro.shmem import Domain, capability_rows
+from repro.shmem import Domain, capability_rows, design_spec
 from repro.units import KiB, MiB, message_sizes
 
 H, G = Domain.HOST, Domain.GPU
@@ -43,6 +43,11 @@ class Experiment:
 def _curves(op, local, remote, sizes, nodes=2, target="far", designs=("host-pipeline", "enhanced-gdr")):
     series = {}
     for design in designs:
+        if G in (local, remote) and not design_spec(design).caps.gpu_domain:
+            # No GPU symmetric heap in this design (Table I, Naive):
+            # the cell is unsupported, same as a None sweep.
+            series[design] = None
+            continue
         pts = latency_sweep(design, op, local, remote, sizes, nodes=nodes, target=target)
         series[design] = None if pts is None else [p.usec for p in pts]
     return series
@@ -105,6 +110,31 @@ def make_internode_figure(fig, op, local, remote, large):
         return _latency_figure(
             f"Fig {fig} — inter-node {cfg_label} {op}, {rng} messages (usec)",
             op, local, remote, nodes=2, target="far", quick=quick, large=large,
+        )
+
+    return run
+
+
+# ------------------------------------------------- four-way comparisons
+#: Every runtime design, baseline to device-initiated, in registry
+#: order.  ``latency_sweep`` returns ``None`` for cells a design cannot
+#: serve (naive has no GPU heap), which renders as an absent curve —
+#: the same convention the Fig 9 "baseline unsupported" panels use.
+FOUR_WAY = ("naive", "host-pipeline", "enhanced-gdr", "device-initiated")
+
+
+def make_fourway_figure(fig, op, local, remote, large, *, nodes, target):
+    cfg_label = f"{'H' if local is H else 'D'}-{'H' if remote is H else 'D'}"
+    rng = "large" if large else "small"
+    scope = "intra-node" if nodes == 1 else "inter-node"
+
+    def run(quick: bool = False) -> str:
+        sizes = (QUICK_LARGE if quick else LARGE_SIZES) if large else (QUICK_SMALL if quick else SMALL_SIZES)
+        series = _curves(op, local, remote, sizes, nodes=nodes, target=target, designs=FOUR_WAY)
+        return format_series(
+            "bytes", series, sizes,
+            title=f"Fig {fig} — {scope} {cfg_label} {op}, {rng} messages, four designs (usec)",
+            fmt="{:.2f}",
         )
 
     return run
@@ -226,6 +256,18 @@ _register("fig9d", "inter-node D-H get", "baseline unsupported",
 _register("fig10", "overlap", "~100% overlap for proposed; baseline degrades", run_fig10)
 _register("fig11", "Stencil2D", "-14..24% execution time", run_fig11)
 _register("fig12", "LBM evolution", "-45..70% (strong), -30..39% (weak)", run_fig12)
+# Four-way comparisons (DESIGN.md §11): the 22 paper targets above are
+# pinned by BENCH_PR1.json; these extra targets put the device-initiated
+# design on the same axes without touching their outputs.
+_register("fig8a4", "inter-node D-D put small, four designs",
+          "device-initiated tracks enhanced-gdr small-message latency without the proxy hop",
+          make_fourway_figure("8(a)+", "put", G, G, large=False, nodes=2, target="far"))
+_register("fig8b4", "inter-node D-D put large, four designs",
+          "large messages converge on the wire bottleneck in every design that serves D-D",
+          make_fourway_figure("8(b)+", "put", G, G, large=True, nodes=2, target="far"))
+_register("fig6a4", "intra-node H-D put small, four designs",
+          "device ld/st through peer-mapped memory tracks the IPC path intra-node",
+          make_fourway_figure("6(a)+", "put", H, G, large=False, nodes=1, target="near"))
 
 
 def run_experiment(exp_id: str, quick: bool = False, **kwargs) -> str:

@@ -1,12 +1,14 @@
-"""Job model for the ``repro serve`` subsystem.
+r"""Job model for the ``repro serve`` subsystem.
 
 A :class:`Job` is one unit of simulation work flowing through the
 service: an experiment sweep target, a ``repro.check`` seed, a traced
 experiment export, or a synthetic soak request.  Jobs move through an
 explicit lifecycle state machine::
 
-                      +--------------------------- retry (bounded,
-                      v                             fault-flagged)
+                      +--------------------------- retry (bounded;
+                      v                             transient causes for
+                      |                             any job, own errors
+                      |                             for fault-flagged)
     queued ------> running ------> done
       | \             |  \
       |  \            |   +-----> failed
@@ -145,8 +147,18 @@ def validate_spec(spec: Dict[str, Any]) -> str:
         raise SpecError(f"unknown job kind {kind!r} (want one of {KINDS})")
     if kind in ("sweep", "trace") and not isinstance(spec.get("experiment"), str):
         raise SpecError(f"{kind} spec needs an 'experiment' id")
-    if kind == "check" and not isinstance(spec.get("seed"), int):
-        raise SpecError("check spec needs an integer 'seed'")
+    if kind == "check":
+        if not isinstance(spec.get("seed"), int):
+            raise SpecError("check spec needs an integer 'seed'")
+        design = spec.get("design")
+        if design is not None:
+            from repro.errors import ShmemError
+            from repro.shmem.designs import design_spec
+
+            try:
+                design_spec(design)
+            except ShmemError as exc:
+                raise SpecError(str(exc)) from None
     prio = spec.get("priority")
     if prio is not None and not isinstance(prio, int):
         raise SpecError(f"priority must be an integer, got {prio!r}")

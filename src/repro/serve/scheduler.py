@@ -23,8 +23,15 @@ Execution path (``_worker`` coroutines, ``config.workers`` of them)::
                 serialised behind a lock)
       synthetic -> in-loop deterministic hash work (soak traffic)
 
-Every job observes a per-job timeout, cooperative cancellation, and —
-for fault-flagged specs — bounded retry (RUNNING -> QUEUED).  On
+Every job observes a per-job timeout, cooperative cancellation, and
+bounded retry (RUNNING -> QUEUED, at most ``config.retry_limit``
+re-queues).  Retry eligibility distinguishes the failure cause:
+*transient* infrastructure failures — worker timeouts, broken process
+pools, lost pipes — are retried for every job, while application-level
+failures (the job's own exception) are final unless the spec is
+fault-flagged, which opts into replaying its own errors too.  Oracle
+failures from check jobs are DONE results with ``ok: false`` and are
+never retried.  On
 success the scheduler emits the result's ``metrics`` dict as a final
 ``metrics`` telemetry event *before* the terminal state event, which
 is the contract the acceptance check "streamed snapshot == final
@@ -43,7 +50,7 @@ import heapq
 import itertools
 import os
 from collections import OrderedDict, deque
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -208,7 +215,12 @@ class JobScheduler:
             spec=spec,
             priority=int(spec.get("priority", DEFAULT_PRIORITY[kind])),
             dedup_key=key,
-            retries_left=self.config.retry_limit if spec.get("faults") else 0,
+            # Every job gets the retry budget; _fail_or_retry decides
+            # per failure whether spending it is allowed (transient
+            # causes always; application errors only for fault-flagged
+            # specs).  Granting it only to fault-flagged specs silently
+            # ignored retry_limit for clean jobs hit by worker timeouts.
+            retries_left=self.config.retry_limit,
             timeout=float(spec.get("timeout", self.config.default_timeout)),
         )
         self.jobs[job.id] = job
@@ -355,7 +367,7 @@ class JobScheduler:
             result = await asyncio.wait_for(task, job.timeout)
         except asyncio.TimeoutError:
             self.counters["timeouts"] += 1
-            self._fail_or_retry(job, f"timeout after {job.timeout:g}s")
+            self._fail_or_retry(job, f"timeout after {job.timeout:g}s", transient=True)
         except asyncio.CancelledError:
             if job.cancel_requested:
                 job.advance(JobState.CANCELLED)
@@ -366,7 +378,11 @@ class JobScheduler:
                 self._on_terminal(job)
                 raise
         except Exception as exc:
-            self._fail_or_retry(job, f"{type(exc).__name__}: {exc}")
+            # Infrastructure failures (the worker crashed under the
+            # job, the pool's IPC broke) are transient and retryable
+            # for every spec; the job's own exception is not.
+            transient = isinstance(exc, (BrokenExecutor, OSError, EOFError))
+            self._fail_or_retry(job, f"{type(exc).__name__}: {exc}", transient=transient)
         else:
             if job.cancel_requested:
                 job.advance(JobState.CANCELLED)
@@ -381,12 +397,20 @@ class JobScheduler:
         finally:
             self._inflight.pop(job.id, None)
 
-    def _fail_or_retry(self, job: Job, error: str) -> None:
-        if job.retries_left > 0 and not job.cancel_requested:
+    def _fail_or_retry(self, job: Job, error: str, *, transient: bool = False) -> None:
+        """Fail ``job``, or spend one retry and re-queue it.
+
+        ``transient`` marks infrastructure causes (timeout, broken
+        pool) that any job may retry; application-level failures are
+        retried only when the spec is fault-flagged (it opted into
+        replaying its own errors)."""
+        eligible = transient or bool(job.spec.get("faults"))
+        if eligible and job.retries_left > 0 and not job.cancel_requested:
             job.retries_left -= 1
             self.counters["retried"] += 1
             job.events.emit("progress", {
                 "phase": "retry",
+                "cause": "transient" if transient else "fault-flagged",
                 "error": error,
                 "retries_left": job.retries_left,
             })

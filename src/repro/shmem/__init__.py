@@ -4,12 +4,17 @@ The paper's contribution, reproduced: a CUDA-aware OpenSHMEM with
 host *and* GPU symmetric heaps (``shmalloc(size, domain)``), truly
 one-sided put/get across every H-H/H-D/D-H/D-D configuration, hardware
 atomics (including GDR atomics on GPU-resident words), and collectives
-— under three interchangeable runtime designs:
+— under interchangeable runtime designs (one registry:
+:mod:`repro.shmem.designs`):
 
-* ``"naive"``          — host heap only; users stage GPU data manually.
-* ``"host-pipeline"``  — the IPDPS'13 CUDA-aware baseline [15].
-* ``"enhanced-gdr"``   — the proposed design (§III): GDR loopback,
+* ``"naive"``            — host heap only; users stage GPU data manually.
+* ``"host-pipeline"``    — the IPDPS'13 CUDA-aware baseline [15].
+* ``"enhanced-gdr"``     — the proposed design (§III): GDR loopback,
   Direct GDR, hybrid IPC, Pipeline-GDR-write, and the proxy framework.
+* ``"device-initiated"`` — NVSHMEM-style extension beyond the paper:
+  GPU threads issue put/get/atomics from inside running kernels with
+  device-resident heap translation, no host proxy hop, and one-time
+  kernel-launch warm-up instead of per-op host overhead (DESIGN.md §11).
 
 Quickstart::
 
@@ -31,6 +36,7 @@ from repro.shmem.address import SymAddr, SymPtr
 from repro.shmem.capabilities import TABLE_I, Capabilities, capability_rows
 from repro.shmem.constants import Config, Domain, Locality, Op, Protocol
 from repro.shmem.context import ShmemContext
+from repro.shmem.designs import DesignSpec, design_names, design_spec
 from repro.shmem.heap import HeapAllocator, SymmetricHeap
 from repro.shmem.job import JobResult, ShmemJob, run_spmd
 from repro.shmem.protocols import Route, UnsupportedConfiguration, make_selector
@@ -39,6 +45,9 @@ from repro.shmem.runtime import Runtime, SYNC_RESERVED
 __all__ = [
     "Capabilities",
     "Config",
+    "DesignSpec",
+    "design_names",
+    "design_spec",
     "Domain",
     "HeapAllocator",
     "JobResult",

@@ -35,13 +35,18 @@ class SymAddr:
 class SymPtr:
     """A symmetric allocation as seen by one PE."""
 
-    __slots__ = ("addr", "local", "size", "_ctx")
+    __slots__ = ("addr", "local", "size", "_ctx", "gen")
 
-    def __init__(self, addr: SymAddr, local: Ptr, size: int, ctx=None):
+    def __init__(self, addr: SymAddr, local: Ptr, size: int, ctx=None, gen: Optional[int] = None):
         self.addr = addr
         self.local = local
         self.size = size
         self._ctx = ctx
+        #: Allocation generation (the heap ``seq`` that created this
+        #: block) — lets ``shfree`` reject stale pointers whose offset
+        #: has been recycled by a later shmalloc.  ``None`` for derived
+        #: pointers that are never freed (e.g. the sync area).
+        self.gen = gen
 
     @property
     def domain(self) -> Domain:
@@ -61,7 +66,9 @@ class SymPtr:
                 f"symmetric pointer arithmetic (+{nbytes}) leaves the "
                 f"{self.size}-byte allocation"
             )
-        return SymPtr(self.addr + nbytes, self.local + nbytes, self.size - nbytes, self._ctx)
+        return SymPtr(
+            self.addr + nbytes, self.local + nbytes, self.size - nbytes, self._ctx, self.gen
+        )
 
     # ------------------------------------------------- local data access
     def as_array(self, dtype, count: Optional[int] = None) -> np.ndarray:

@@ -2,16 +2,17 @@
 
 The paper's Table I compares the three solutions (Naive, Host-based
 Pipeline [15], Proposed) on supported configurations, schemes,
-performance, true one-sidedness, and productivity.  Here each runtime
-declares its row so the feature bench (``bench_table1_features``) can
+performance, true one-sidedness, and productivity.  Each runtime's row
+lives in its :class:`~repro.shmem.designs.DesignSpec` (the unified
+design registry); the feature bench (``bench_table1_features``) can
 regenerate the table and the test-suite can assert the qualitative
-claims.
+claims.  ``TABLE_I`` remains available here as a derived view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.shmem.constants import Config
 
@@ -37,64 +38,20 @@ class Capabilities:
 
 _ALL = (Config.HH, Config.HD, Config.DH, Config.DD)
 
-#: Table I, row by row.  The naive model leaves every GPU copy to the
-#: user (so only H-H moves over the network); the baseline adds the GPU
-#: domain but handles only same-domain traffic between nodes; the
-#: proposed design covers everything.
-TABLE_I: Dict[str, Capabilities] = {
-    "naive": Capabilities(
-        design="naive",
-        intranode_configs=(Config.HH,),
-        internode_configs=(Config.HH,),
-        schemes=("user cudaMemcpy",),
-        performance="poor",
-        true_one_sided="poor",
-        productivity="poor",
-        gpu_domain=False,
-    ),
-    "host-pipeline": Capabilities(
-        design="host-pipeline",
-        intranode_configs=_ALL,
-        internode_configs=(Config.HH, Config.DD),
-        schemes=("IPC", "pipeline"),
-        performance="medium",
-        true_one_sided="poor",
-        productivity="good",
-    ),
-    "enhanced-gdr": Capabilities(
-        design="enhanced-gdr",
-        intranode_configs=_ALL,
-        internode_configs=_ALL,
-        schemes=("IPC", "GDR", "pipeline", "proxy"),
-        performance="good",
-        true_one_sided="good",
-        productivity="good",
-    ),
-    # Ablation variant (not a Table I row): the proposed design minus
-    # the proxy framework, to isolate Fig 5's contribution.
-    "enhanced-gdr-noproxy": Capabilities(
-        design="enhanced-gdr-noproxy",
-        intranode_configs=_ALL,
-        internode_configs=_ALL,
-        schemes=("IPC", "GDR", "pipeline"),
-        performance="medium",
-        true_one_sided="good",
-        productivity="good",
-    ),
-}
-
 
 def capability_rows() -> List[List[str]]:
     """Render Table I as printable rows (used by the feature bench).
 
-    Ablation-only variants are excluded — Table I has three rows."""
+    Ablation and beyond-the-paper variants are excluded — Table I has
+    three rows (``DesignSpec.table_row`` in the design registry)."""
+    from repro.shmem.designs import table_rows
+
     rows = []
-    for name, cap in TABLE_I.items():
-        if name == "enhanced-gdr-noproxy":
-            continue
+    for spec in table_rows():
+        cap = spec.caps
         rows.append(
             [
-                name,
+                spec.name,
                 "/".join(c.value for c in cap.intranode_configs),
                 "/".join(c.value for c in cap.internode_configs),
                 "+".join(cap.schemes),
@@ -104,3 +61,14 @@ def capability_rows() -> List[List[str]]:
             ]
         )
     return rows
+
+
+def __getattr__(name: str):
+    # Derived compatibility view of the design registry (PEP 562): the
+    # row literals moved to repro.shmem.designs, imported lazily here
+    # to avoid a module cycle.
+    if name == "TABLE_I":
+        from repro.shmem.designs import capability_table
+
+        return capability_table()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -100,3 +100,11 @@ class Protocol(enum.Enum):
     PIPELINE_GDR_WRITE = "pipeline-gdr-write"
     #: Hand the transfer to a node-level proxy process (Fig 5).
     PROXY = "proxy"
+    #: Device-initiated intra-node move: GPU threads load/store through
+    #: peer-mapped memory from inside a running kernel (NVSHMEM-style;
+    #: priced like the equivalent copy over the same wires).
+    DEVICE_P2P = "device-p2p"
+    #: Device-initiated RDMA: a GPU thread rings the HCA doorbell
+    #: directly and the NIC moves data between registered heaps with no
+    #: host proxy hop (NVSHMEM-style inter-node path).
+    DEVICE_GDR = "device-gdr"

@@ -144,15 +144,23 @@ class ShmemContext(TypedOps, LockOps, TeamOps):
             yield from _coll.barrier_all(self)
         finally:
             self._exit()
-        return SymPtr(SymAddr(domain, offset), info.heap.ptr(offset), size, self)
+        return SymPtr(
+            SymAddr(domain, offset), info.heap.ptr(offset), size, self,
+            gen=info.heap.generation(offset),
+        )
 
     def shfree(self, sym: SymPtr) -> Generator:
-        """Collective symmetric free."""
+        """Collective symmetric free.
+
+        The pointer carries its allocation generation, so freeing a
+        stale pointer whose offset has since been recycled — including
+        any double free — raises :class:`ShmemError` instead of
+        silently releasing the wrong live block."""
         self._enter()
         try:
             yield from _coll.barrier_all(self)
             info = self.runtime.heap_of(self.pe, sym.domain)
-            info.heap.shfree(sym.offset)
+            info.heap.shfree(sym.offset, generation=sym.gen)
             yield from _coll.barrier_all(self)
         finally:
             self._exit()

@@ -296,8 +296,14 @@ class AnalyticFlow:
 
     def _acquire(self, ev: Event) -> None:
         # First entry arrives from the t_req wake-up; re-entries arrive
-        # from a queued request's grant (re-check the grant like the
-        # event path does after its ``yield req``).
+        # from each request's own pop — granted or queued — so the flow
+        # takes exactly one resource request per scheduler step, the
+        # same cadence as the generator it replays (which yields after
+        # *every* ``request()``, immediate grant or not).  Chaining
+        # consecutive immediate grants inline here would jump ahead of
+        # same-instant parties whose resumes already sat in the ready
+        # queue, flipping a FIFO grant on a shared direction once three
+        # or more flows contend.
         if self._dead:
             return
         dirs = self.dirs
@@ -309,29 +315,19 @@ class AnalyticFlow:
             if d.blocks(spec.leg_label(d)):
                 self._die(LinkDown(f"link direction {d.name} went down", direction=d))
                 return
-        n = len(dirs)
-        while i < n:
+        if i < len(dirs):
             d = dirs[i]
             if d.blocks(spec.leg_label(d)):
                 self._die(LinkDown(f"link direction {d.name} is down", direction=d))
                 return
             req = d.resource.request()
             granted.append((d, req))
-            i += 1
-            if not req._triggered:
-                # Queued behind other traffic: resume at the FIFO grant
-                # instant, exactly where the event path's generator
-                # would be woken.
-                self._idx = i
-                if not self.contended:
-                    self.contended = True
-                    self.sim.stats.contended_windows += 1
-                req.callbacks.append(self._acquire)
-                return
-            if d.blocks(spec.leg_label(d)):
-                self._die(LinkDown(f"link direction {d.name} went down", direction=d))
-                return
-        self._idx = i
+            self._idx = i + 1
+            if not req._triggered and not self.contended:
+                self.contended = True
+                self.sim.stats.contended_windows += 1
+            req.callbacks.append(self._acquire)
+            return
         self._marks = [(d, d.fail_mark) for d in dirs]
         sim = self.sim
         end = sim.wake_at_lane(sim.now + self.duration, name="an:end")
@@ -347,6 +343,7 @@ class AnalyticFlow:
                     LinkDown(
                         f"link direction {d.name} failed mid-transfer; payload lost",
                         direction=d,
+                        in_flight=True,
                     )
                 )
                 return

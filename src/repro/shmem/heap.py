@@ -119,14 +119,40 @@ class SymmetricHeap:
         self.allocator = allocator or HeapAllocator(alloc.size)
         #: Monotonic collective-call sequence number (symmetry auditing).
         self.seq = 0
+        #: Block identity: offset -> the ``seq`` that allocated it.  An
+        #: offset alone does not identify a block — free+shmalloc can
+        #: recycle it — so frees check the generation too; otherwise a
+        #: double-free of a recycled offset would silently release the
+        #: *new* live block at that offset.
+        self._gen: dict = {}
 
     def shmalloc(self, size: int, alignment: int = DEFAULT_ALIGNMENT) -> int:
         self.seq += 1
-        return self.allocator.allocate(size, alignment)
+        offset = self.allocator.allocate(size, alignment)
+        self._gen[offset] = self.seq
+        return offset
 
-    def shfree(self, offset: int) -> None:
+    def generation(self, offset: int) -> int:
+        """The allocation generation of the live block at ``offset``."""
+        return self._gen[offset]
+
+    def shfree(self, offset: int, generation: Optional[int] = None) -> None:
         self.seq += 1
+        live_gen = self._gen.get(offset)
+        if live_gen is None:
+            # Not a shmalloc'd block (e.g. the reserved sync area) or
+            # plain unknown: the allocator raises the canonical
+            # unknown-offset error itself.
+            self.allocator.free(offset)
+            return
+        if generation is not None and generation != live_gen:
+            raise ShmemError(
+                f"shfree of a stale block at offset {offset}: generation "
+                f"{generation} was already freed and the offset recycled "
+                f"(live generation is {live_gen}) — double free"
+            )
         self.allocator.free(offset)
+        del self._gen[offset]
 
     def ptr(self, offset: int):
         return self.alloc.ptr(offset)

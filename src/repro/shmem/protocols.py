@@ -1,6 +1,9 @@
 """Protocol selection: which data-movement scheme serves an operation.
 
-This module encodes the decision tables of the three runtime designs.
+This module encodes the decision tables of the runtime designs (the
+paper's three, the no-proxy ablation, and the NVSHMEM-style
+device-initiated extension; the authoritative design list lives in
+:mod:`repro.shmem.designs`).
 Following the paper's configuration naming, a :class:`Config` here is
 ``(local buffer location, remote symmetric location)`` — so "H-D put"
 moves host -> remote device, while "H-D get" moves remote device ->
@@ -304,19 +307,47 @@ class EnhancedNoProxySelector(EnhancedGDRSelector):
         return route
 
 
-SELECTORS = {
-    "naive": NaiveSelector,
-    "host-pipeline": HostPipelineSelector,
-    "enhanced-gdr": EnhancedGDRSelector,
-    "enhanced-gdr-noproxy": EnhancedNoProxySelector,
-}
+class DeviceInitiatedSelector(ProtocolSelector):
+    """NVSHMEM-style device-initiated design (beyond the paper).
+
+    Put/get/atomics issue from GPU threads inside running kernels, the
+    symmetric-heap translation table is device-resident, and there is
+    no host proxy hop: every remote transfer is either a device-side
+    load/store through peer-mapped memory (intra-node) or an RDMA whose
+    doorbell the device rings itself (inter-node).  Every configuration
+    and message size takes the same one-hop route — the size thresholds
+    of the host-initiated designs exist to dodge host-side staging
+    costs this design simply does not have.
+    """
+
+    design = "device-initiated"
+
+    def select(self, op, config, locality, nbytes, *, local_same_socket=True, remote_same_socket=True):
+        if locality is Locality.SELF:
+            return Route(Protocol.LOCAL_COPY, op, config, locality, nbytes, "self")
+        if locality is Locality.INTRA_NODE:
+            return Route(
+                Protocol.DEVICE_P2P, op, config, locality, nbytes,
+                "device ld/st through peer-mapped memory",
+            )
+        return Route(
+            Protocol.DEVICE_GDR, op, config, locality, nbytes,
+            "device-rung doorbell, direct RDMA between registered heaps",
+        )
 
 
 def make_selector(design: str, params: HardwareParams) -> ProtocolSelector:
-    try:
-        cls = SELECTORS[design]
-    except KeyError:
-        raise ShmemError(
-            f"unknown runtime design {design!r}; choose from {sorted(SELECTORS)}"
-        ) from None
-    return cls(params)
+    from repro.shmem.designs import design_spec
+
+    return design_spec(design).selector(params)
+
+
+def __getattr__(name: str):
+    # Derived compatibility view of the design registry (PEP 562): the
+    # authoritative table lives in repro.shmem.designs, imported lazily
+    # here to avoid a module cycle.
+    if name == "SELECTORS":
+        from repro.shmem.designs import selector_table
+
+        return selector_table()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

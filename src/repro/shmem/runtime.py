@@ -1,10 +1,15 @@
 """The OpenSHMEM runtime: heaps, address translation, protocol execution.
 
 One :class:`Runtime` instance serves a whole job.  The *design*
-("naive", "host-pipeline", "enhanced-gdr") chooses the protocol
-selector (Table I / §III); protocol *execution* is shared, so all three
-designs run over identical simulated hardware and differ only in the
-paths they take — which is precisely the comparison the paper makes.
+("naive", "host-pipeline", "enhanced-gdr", "device-initiated") resolves
+through the unified registry (:mod:`repro.shmem.designs`) to a
+protocol selector (Table I / §III) plus construction flags; protocol
+*execution* is shared, so all designs run over identical simulated
+hardware and differ only in the paths they take — which is precisely
+the comparison the paper makes.  The device-initiated design
+(NVSHMEM-style, beyond the paper) opts out of host staging entirely:
+ops issue from device contexts after a one-time persistent-kernel
+warm-up, and quiet/fence run device-side (DESIGN.md §11).
 
 Completion semantics implemented here:
 
@@ -29,8 +34,9 @@ from repro.hardware.links import chunked
 from repro.ib.mr import MemoryRegion
 from repro.ib.verbs import Endpoint, Verbs
 from repro.shmem.address import SymAddr
-from repro.shmem.capabilities import TABLE_I, Capabilities
+from repro.shmem.capabilities import Capabilities
 from repro.shmem.constants import Config, Domain, Locality, Op, Protocol
+from repro.shmem.designs import DesignSpec, design_spec
 from repro.shmem.fastpath import (
     AnalyticFlow,
     claim,
@@ -57,7 +63,7 @@ SYNC_RESERVED = 4096
 #: protocols stay on their own handlers (the quiescent tier-1 planners
 #: cover their uncontended case).
 _ANALYTIC_PUT_PROTOCOLS = frozenset(
-    {Protocol.DIRECT_GDR, Protocol.RDMA_HOST, Protocol.GDR_LOOPBACK}
+    {Protocol.DIRECT_GDR, Protocol.RDMA_HOST, Protocol.GDR_LOOPBACK, Protocol.DEVICE_GDR}
 )
 
 
@@ -81,8 +87,13 @@ class Runtime:
         self.hw = job.hw
         self.params = job.params
         self.verbs: Verbs = job.verbs
-        self.selector: ProtocolSelector = make_selector(design, self.params)
-        self.caps: Capabilities = TABLE_I[design]
+        #: The one authoritative lookup: selector, capabilities and
+        #: construction flags all come from the unified design registry
+        #: (unknown designs raise the friendly ShmemError here, before
+        #: any hardware is built).
+        self.spec: DesignSpec = design_spec(design)
+        self.selector: ProtocolSelector = self.spec.selector(self.params)
+        self.caps: Capabilities = self.spec.caps
         self.npes = job.npes
 
         self.heaps: Dict[Tuple[int, Domain], HeapInfo] = {}
@@ -108,6 +119,13 @@ class Runtime:
         #: validated on every hit.
         self._an_route_cache: Dict[tuple, object] = {}
         self._an_notify_cb: Dict[int, object] = {}
+        #: Device-initiated design: PEs whose persistent communication
+        #: kernel is running.  The first device-issued op of a PE pays
+        #: ``kernel_launch_overhead`` once; after that, per-op host
+        #: overhead is gone (the launch-amortisation model, DESIGN.md
+        #: §11).  Filled identically on the fast and event paths, so
+        #: bit-identity across engine modes is preserved.
+        self._warmed_pes: set = set()
         #: Armed by :class:`repro.faults.FaultInjector`; ``None`` in a
         #: fault-free job (and every fault code path below is skipped).
         self.health = None
@@ -115,7 +133,7 @@ class Runtime:
 
         self._build_heaps()
         self._build_endpoints_and_staging()
-        if design == "enhanced-gdr":
+        if self.spec.proxies:
             self._build_proxies()
 
     # ====================================================== construction
@@ -155,7 +173,7 @@ class Runtime:
                 self.heaps[(pe, Domain.GPU)] = HeapInfo(gpu_heap, gpu_mr)
 
     def _registers_gpu_heap(self) -> bool:
-        return self.design.startswith("enhanced-gdr")
+        return self.spec.registers_gpu_heap
 
     def _build_endpoints_and_staging(self) -> None:
         job = self.job
@@ -168,34 +186,39 @@ class Runtime:
             except Exception:
                 hca_id = node.hca_for_host()
             self.endpoints[pe] = self.verbs.endpoint(node_id, hca_id, owner=pe)
-            staging_alloc = job.space.allocate(
-                MemKind.HOST,
-                self.params.pipeline_chunk * self.params.pipeline_depth,
-                node_id=node_id,
-                owner=pe,
-                tag=f"pe{pe}.staging",
-            )
-            self.staging[pe] = StagingPool(
-                self.sim,
-                staging_alloc,
-                MemoryRegion(staging_alloc),
-                self.params.pipeline_chunk,
-                name=f"pe{pe}.staging",
-            )
-            rx_alloc = job.space.allocate(
-                MemKind.HOST,
-                self.params.pipeline_chunk * self.params.pipeline_depth,
-                node_id=node_id,
-                owner=pe,
-                tag=f"pe{pe}.rx-staging",
-            )
-            self.rx_staging[pe] = StagingPool(
-                self.sim,
-                rx_alloc,
-                MemoryRegion(rx_alloc),
-                self.params.pipeline_chunk,
-                name=f"pe{pe}.rx-staging",
-            )
+            if self.spec.host_staging:
+                # Pipeline/staged-copy protocols bounce through these
+                # pools.  A device-initiated kernel cannot reach host
+                # staging at all, so that design skips them entirely
+                # (and its init_pe registers one region fewer).
+                staging_alloc = job.space.allocate(
+                    MemKind.HOST,
+                    self.params.pipeline_chunk * self.params.pipeline_depth,
+                    node_id=node_id,
+                    owner=pe,
+                    tag=f"pe{pe}.staging",
+                )
+                self.staging[pe] = StagingPool(
+                    self.sim,
+                    staging_alloc,
+                    MemoryRegion(staging_alloc),
+                    self.params.pipeline_chunk,
+                    name=f"pe{pe}.staging",
+                )
+                rx_alloc = job.space.allocate(
+                    MemKind.HOST,
+                    self.params.pipeline_chunk * self.params.pipeline_depth,
+                    node_id=node_id,
+                    owner=pe,
+                    tag=f"pe{pe}.rx-staging",
+                )
+                self.rx_staging[pe] = StagingPool(
+                    self.sim,
+                    rx_alloc,
+                    MemoryRegion(rx_alloc),
+                    self.params.pipeline_chunk,
+                    name=f"pe{pe}.rx-staging",
+                )
             self.service[pe] = ServiceEngine(
                 self.sim, pe, self.params.target_progress_poll, always_on=self.service_thread
             )
@@ -215,7 +238,9 @@ class Runtime:
         round-trip (§III-A).
         """
         p = self.params
-        regions = 2  # host heap + staging
+        regions = 1  # host heap
+        if self.spec.host_staging:
+            regions += 1  # staging pools
         if (ctx.pe, Domain.GPU) in self.heaps and self._registers_gpu_heap():
             regions += 1
         yield self.sim.timeout(regions * p.mr_register_overhead, name="init:register")
@@ -445,13 +470,41 @@ class Runtime:
                     p.rc_timeout * p.rc_backoff ** (attempt - 1), name="rc:backoff"
                 )
 
+    # ================================================ op issue (per design)
+    def _issue_dispatch(self, ctx, name: Optional[str] = "shmem:dispatch") -> Generator:
+        """API-entry cost of one op.  Host-initiated designs pay the
+        host-side software dispatch; the device-initiated design pays a
+        (much cheaper) in-kernel issue slot — plus, on the very first
+        device op of a PE, the one-time persistent-kernel launch that
+        the design amortises away (DESIGN.md §11)."""
+        p = self.params
+        if not self.spec.device_initiated:
+            yield self.sim.timeout(p.shmem_dispatch_overhead, name=name)
+            return
+        if ctx.pe not in self._warmed_pes:
+            self._warmed_pes.add(ctx.pe)
+            span = self._op_span(ctx, "device:kernel_warmup")
+            try:
+                yield self.sim.timeout(p.kernel_launch_overhead, name="device:warmup")
+            finally:
+                self._end_span(span)
+        yield self.sim.timeout(p.device_issue_overhead, name="device:issue")
+
+    def _issue_lookup(self, ctx) -> Generator:
+        """Address-translation cost: the host-side heap-table lookup,
+        or the device-side translation a device-resident table allows."""
+        p = self.params
+        if self.spec.device_initiated:
+            yield self.sim.timeout(p.device_translate_overhead, name="device:translate")
+        else:
+            yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
+
     # ============================================================== put
     def putmem(self, ctx, dst: SymAddr, src: Ptr, nbytes: int, pe: int) -> Generator:
         """One-sided put; returns at local completion.  See module docs."""
         self._check_pe(pe)
         if nbytes <= 0:
             raise ShmemError(f"putmem of {nbytes} bytes")
-        p = self.params
         tracer = self.sim.tracer
         if tracer is None:
             fast = self._fast_rdma_put(ctx, dst, src, nbytes, pe)
@@ -468,7 +521,7 @@ class Runtime:
                 self.sim, "shmem:put", "shmem", f"pe{ctx.pe}", nbytes=nbytes, target_pe=pe
             )
         try:
-            yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
+            yield from self._issue_dispatch(ctx)
             config = Config.of(src.kind is MemKind.DEVICE, dst.domain is Domain.GPU)
             locality = self.locality(ctx, pe)
             local_ss, remote_ss = self._socket_flags(ctx, pe)
@@ -484,7 +537,7 @@ class Runtime:
                     self.sim, f"route:{route.protocol.value}", "route", f"pe{ctx.pe}",
                     **route.span_args(),
                 )
-            yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
+            yield from self._issue_lookup(ctx)
             dst_ptr = self.resolve(dst, pe)
             handler = self._PUT_HANDLERS[route.protocol]
             t0 = self.sim.now
@@ -622,12 +675,20 @@ class Runtime:
         except Exception:
             return None  # event path raises at the accurate instant
         p = self.params
+        if self.spec.device_initiated:
+            if ctx.pe not in self._warmed_pes:
+                # First device op of this PE: the event path must charge
+                # the kernel-launch warm-up (identically in every mode).
+                return None
+            # Same float arithmetic as the two elided device Timeouts.
+            t0 = (sim.now + p.device_issue_overhead) + p.device_translate_overhead
+        else:
+            # Same float arithmetic as the two sequential Timeouts it elides.
+            t0 = (sim.now + p.shmem_dispatch_overhead) + p.shmem_lookup_overhead
         self._count(route)
         notify = self._an_notify_cb.get(pe)
         if notify is None:
             notify = self._an_notify_cb[pe] = partial(self._notify, pe)
-        # Same float arithmetic as the two sequential Timeouts it elides.
-        t0 = (sim.now + p.shmem_dispatch_overhead) + p.shmem_lookup_overhead
         flow = AnalyticFlow(
             sim, path, src, dst_ptr, nbytes,
             base=t0,
@@ -695,7 +756,12 @@ class Runtime:
             remote_hca=remote_hca, delivered=delivered, posted=posted,
         )
         if self.health is not None:
-            gen = self._rdma_put_failover(gen, ctx, route, src, dst, dst_ptr, nbytes, pe, posted)
+            if self.spec.device_initiated:
+                gen = self._device_rdma_replay(gen, ctx, src, dst, nbytes, pe, posted)
+            else:
+                gen = self._rdma_put_failover(
+                    gen, ctx, route, src, dst, dst_ptr, nbytes, pe, posted
+                )
         proc = self.sim.process(gen, name=f"pe{ctx.pe}:rdma-put")
         ctx.track(proc)
         self._bridge_failure(proc, posted)
@@ -726,6 +792,58 @@ class Runtime:
             handler = self._PUT_HANDLERS[fallback.protocol]
             yield from handler(self, ctx, fallback, src, dst, dst_ptr, nbytes, pe)
         return None
+
+    def _device_rdma_replay(self, gen, ctx, src, dst, nbytes, pe, posted) -> Generator:
+        """Reactive fault handling for device-initiated RDMA puts.
+
+        There is no host-staged ladder to descend — the issuing kernel
+        cannot reach the staging pools or a proxy — so a write that
+        dies even after RC retransmission is replayed *whole* from the
+        device once the health cooldown has passed.  The replay is
+        idempotent: each attempt re-reads the source and rewrites the
+        full destination range, so a partially-delivered first attempt
+        cannot leave torn data."""
+        p = self.params
+        attempt = 0
+        while True:
+            yield from self._wait_device_path_clear(ctx, src, dst, nbytes, pe)
+            try:
+                result = yield from gen
+                return result
+            except (LinkDown, CompletionError):
+                attempt += 1
+                if attempt > p.rc_retry_cnt:
+                    raise
+                self.sim.stats.retries += 1
+                if not posted.triggered:
+                    posted.succeed()
+                yield self.sim.timeout(p.health_cooldown, name="device:replay-cooldown")
+                mr = self._remote_mr(dst, pe)
+                delivered = self.sim.event("put:delivered")
+                delivered.callbacks.append(lambda _ev: self._notify(pe))
+                gen = self.verbs.rdma_write(
+                    ctx.endpoint, src, mr, dst.offset, nbytes, delivered=delivered
+                )
+
+    def _wait_device_path_clear(self, ctx, src, dst, nbytes, pe) -> Generator:
+        """Deferred WQE start for device-initiated writes under faults.
+
+        The doorbell has rung, but an RC HCA does not begin the wire
+        crossing while a leg of the path is down — it holds the WQE and
+        retries on its own timer.  Host designs get the equivalent
+        protection from :meth:`_health_reroute` (they steer onto a
+        fallback protocol before posting); the device design has no
+        ladder, so it waits the path out instead."""
+        p = self.params
+        while True:
+            try:
+                mr = self._remote_mr(dst, pe)
+                path, _ = self.verbs.write_path(ctx.endpoint, src, mr, nbytes)
+            except Exception:
+                return  # let the write itself raise at the accurate instant
+            if not any(d.blocks(path.leg_label(d)) for d in path.directions()):
+                return
+            yield self.sim.timeout(p.health_cooldown, name="device:defer-wqe")
 
     def _put_gdr_loopback(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
         yield from self._put_rdma(ctx, route, src, dst, dst_ptr, nbytes, pe, loopback=True)
@@ -1023,6 +1141,13 @@ class Runtime:
             )
         )
 
+    def _put_device_gdr(self, ctx, route, src, dst, dst_ptr, nbytes, pe) -> Generator:
+        """Device-initiated put: a GPU thread rings the HCA doorbell
+        itself.  On the wire this is the same single RDMA as Direct
+        GDR; under faults it replays in place (no host-staged ladder —
+        see :meth:`_device_rdma_replay`)."""
+        yield from self._put_rdma(ctx, route, src, dst, dst_ptr, nbytes, pe, loopback=False)
+
     _PUT_HANDLERS = {
         Protocol.LOCAL_COPY: _put_copy,
         Protocol.SHM_COPY: _put_copy,
@@ -1035,6 +1160,11 @@ class Runtime:
         Protocol.PIPELINE_GDR_WRITE: _put_pipeline_gdr_write,
         Protocol.HOST_PIPELINE: _put_host_pipeline,
         Protocol.PROXY: _put_proxy,
+        #: Device-initiated kernels load/store straight through
+        #: peer-mapped memory; on simulated hardware that moves the
+        #: same bytes over the same wires as the one-copy protocols.
+        Protocol.DEVICE_P2P: _put_copy,
+        Protocol.DEVICE_GDR: _put_device_gdr,
     }
 
     # ============================================================== get
@@ -1043,7 +1173,6 @@ class Runtime:
         self._check_pe(pe)
         if nbytes <= 0:
             raise ShmemError(f"getmem of {nbytes} bytes")
-        p = self.params
         tracer = self.sim.tracer
         op_span = None
         if tracer is not None:
@@ -1051,7 +1180,7 @@ class Runtime:
                 self.sim, "shmem:get", "shmem", f"pe{ctx.pe}", nbytes=nbytes, target_pe=pe
             )
         try:
-            yield self.sim.timeout(p.shmem_dispatch_overhead, name="shmem:dispatch")
+            yield from self._issue_dispatch(ctx)
             config = Config.of(dst.kind is MemKind.DEVICE, src.domain is Domain.GPU)
             locality = self.locality(ctx, pe)
             local_ss, remote_ss = self._socket_flags(ctx, pe)
@@ -1067,12 +1196,14 @@ class Runtime:
                     self.sim, f"route:{route.protocol.value}", "route", f"pe{ctx.pe}",
                     **route.span_args(),
                 )
-            yield self.sim.timeout(p.shmem_lookup_overhead, name="shmem:lookup")
+            yield from self._issue_lookup(ctx)
             src_ptr = self.resolve(src, pe)
             handler = self._GET_HANDLERS[route.protocol]
             t0 = self.sim.now
             if self.health is None:
                 yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
+            elif self.spec.device_initiated:
+                yield from self._device_get_replay(ctx, route, dst, src, src_ptr, nbytes, pe)
             else:
                 try:
                     yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
@@ -1128,6 +1259,30 @@ class Runtime:
 
     def _get_direct_gdr(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
         yield from self._get_rdma(ctx, route, dst, src, src_ptr, nbytes, pe, loopback=False)
+
+    def _get_device_gdr(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        """Device-initiated get: same single RDMA read as Direct GDR,
+        doorbell rung from the device."""
+        yield from self._get_rdma(ctx, route, dst, src, src_ptr, nbytes, pe, loopback=False)
+
+    def _device_get_replay(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
+        """Faulted device-initiated get: no host-staged ladder exists,
+        so a get that dies even after RC retransmission is replayed
+        whole from the device after the health cooldown (bounded by the
+        RC retry budget).  Gets block, so the replay runs inline."""
+        p = self.params
+        handler = self._GET_HANDLERS[route.protocol]
+        attempt = 0
+        while True:
+            try:
+                yield from handler(self, ctx, route, dst, src, src_ptr, nbytes, pe)
+                return
+            except (LinkDown, CompletionError):
+                attempt += 1
+                if attempt > p.rc_retry_cnt:
+                    raise
+                self.sim.stats.retries += 1
+                yield self.sim.timeout(p.health_cooldown, name="device:replay-cooldown")
 
     def _get_host_pipeline(self, ctx, route, dst, src, src_ptr, nbytes, pe) -> Generator:
         """Baseline inter-node get: ask the *remote process* to push the
@@ -1205,6 +1360,8 @@ class Runtime:
         Protocol.RDMA_HOST: _get_direct_gdr,
         Protocol.HOST_PIPELINE: _get_host_pipeline,
         Protocol.PROXY: _get_proxy,
+        Protocol.DEVICE_P2P: _get_copy,
+        Protocol.DEVICE_GDR: _get_device_gdr,
     }
 
     # ======================================================== ordering
@@ -1212,7 +1369,15 @@ class Runtime:
         """Block until every outstanding op of this PE completed remotely.
 
         Failed background operations (e.g. a downed link) re-raise here,
-        the completion point one-sided semantics prescribe."""
+        the completion point one-sided semantics prescribe.
+
+        Under the device-initiated design quiet executes *device-side*:
+        once the persistent kernel is warm, the issuing thread flushes
+        its in-kernel descriptor queue and fences device memory
+        (``device_quiet_overhead``) before the completion wait — no
+        host round-trip is involved."""
+        if self.spec.device_initiated and ctx.pe in self._warmed_pes:
+            yield self.sim.timeout(self.params.device_quiet_overhead, name="device:quiet")
         while ctx.pending:
             batch, ctx.pending[:] = list(ctx.pending), []
             live = [ev for ev in batch if not ev.processed]
@@ -1256,10 +1421,9 @@ class Runtime:
         return self._remote_mr(sym, pe)
 
     def atomic_fetch_add(self, ctx, sym: SymAddr, value: int, pe: int, nbytes: int = 8) -> Generator:
-        p = self.params
         span = self._op_span(ctx, "shmem:atomic_fetch_add", target_pe=pe, nbytes=nbytes)
         try:
-            yield self.sim.timeout(p.shmem_dispatch_overhead)
+            yield from self._issue_dispatch(ctx, name=None)
             mr = self._atomic_common(ctx, sym, pe)
             old = yield from self.verbs.fetch_add(ctx.endpoint, mr, sym.offset, value, nbytes)
         finally:
@@ -1270,10 +1434,9 @@ class Runtime:
     def atomic_compare_swap(
         self, ctx, sym: SymAddr, compare: int, swap: int, pe: int, nbytes: int = 8
     ) -> Generator:
-        p = self.params
         span = self._op_span(ctx, "shmem:atomic_compare_swap", target_pe=pe, nbytes=nbytes)
         try:
-            yield self.sim.timeout(p.shmem_dispatch_overhead)
+            yield from self._issue_dispatch(ctx, name=None)
             mr = self._atomic_common(ctx, sym, pe)
             old = yield from self.verbs.compare_swap(
                 ctx.endpoint, mr, sym.offset, compare, swap, nbytes
@@ -1284,10 +1447,9 @@ class Runtime:
         return old
 
     def atomic_swap(self, ctx, sym: SymAddr, value: int, pe: int, nbytes: int = 8) -> Generator:
-        p = self.params
         span = self._op_span(ctx, "shmem:atomic_swap", target_pe=pe, nbytes=nbytes)
         try:
-            yield self.sim.timeout(p.shmem_dispatch_overhead)
+            yield from self._issue_dispatch(ctx, name=None)
             mr = self._atomic_common(ctx, sym, pe)
             old = yield from self.verbs.swap(ctx.endpoint, mr, sym.offset, value, nbytes)
         finally:

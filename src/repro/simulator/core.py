@@ -82,6 +82,12 @@ class SimStats:
     ``flap_windows``/``hca_stalls``/``cq_errors`` count injected faults
     as they bite, and ``degraded_time`` accumulates virtual seconds
     paths spent in the health tracker's DEGRADED state.
+
+    ``rc_retx_holds``/``rc_aborted_wrs`` are the RC span ledger for
+    ``rdma_write`` work requests: extra wire holds re-priced by
+    retransmission after an in-flight loss, and WRs that exhausted
+    retry without ever holding the wire.  The span-parity oracle uses
+    them to reconcile one-span-per-WR against one-event-per-hold.
     """
 
     __slots__ = (
@@ -99,6 +105,8 @@ class SimStats:
         "flap_windows",
         "hca_stalls",
         "cq_errors",
+        "rc_retx_holds",
+        "rc_aborted_wrs",
         "degraded_time",
     )
 

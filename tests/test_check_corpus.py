@@ -1,6 +1,6 @@
 """Seeded regression corpus for the differential harness.
 
-~25 pinned seeds through the full oracle battery, covering every
+~40 pinned seeds through the full oracle battery, covering every
 runtime design x symmetric-heap domain x fault-plan on/off cell.  A
 corpus failure means a real regression in one of the three execution
 modes (or in the harness itself) — shrink it with::
@@ -32,6 +32,14 @@ CORPUS = [
     (303, "enhanced-gdr", False),
     (304, "enhanced-gdr", True),
     (305, "enhanced-gdr", True),
+    # device-initiated: all configurations, no host staging; the
+    # faulted rows exercise the replay-after-cooldown path (there is
+    # no host failover ladder to descend).
+    (401, "device-initiated", False),
+    (403, "device-initiated", False),
+    (404, "device-initiated", False),
+    (404, "device-initiated", True),
+    (405, "device-initiated", True),
     # Seeded design draw: topology/design/domain mix.
     (1, None, False),
     (2, None, False),
@@ -47,11 +55,11 @@ CORPUS = [
     # concurrent put_nbi windows onto shared links (contended-window
     # tier) or lean on collective rounds (closed-form tier).  All three
     # execution modes must stay oracle-clean with the tiers engaged.
-    (421, None, False),  # enhanced-gdr draw, 4 nbi ops, 4-deep round
-    (483, None, False),  # enhanced-gdr draw, 4 nbi ops across 8 PEs
-    (432, None, False),  # enhanced-gdr draw, 3 collective rounds
-    (455, None, False),  # enhanced-gdr draw, collectives + nbi mix
-    (491, None, False),  # host-pipeline draw, 4 collective rounds
+    (416, None, False),  # enhanced-gdr draw, 3 nbi ops, 3-deep round
+    (481, None, False),  # device-initiated draw, 4 nbi ops across 4 PEs
+    (400, None, False),  # enhanced-gdr draw, 3 collective rounds
+    (460, None, False),  # enhanced-gdr draw, collectives, 4-deep round
+    (485, None, False),  # host-pipeline draw, 3 collective rounds
 ]
 
 
@@ -82,9 +90,11 @@ def test_corpus_covers_the_design_domain_fault_matrix():
         domains = {b.domain for b in w.buffers if any(op.buf == b.name for op in w.all_ops())}
         for d in domains:
             cells.add((w.design, d, faults))
-    for design in ("naive", "host-pipeline", "enhanced-gdr"):
+    for design in ("naive", "host-pipeline", "enhanced-gdr", "device-initiated"):
         for faults in (False, True):
             assert (design, "host", faults) in cells, (design, "host", faults)
-    # GPU-domain traffic must appear for both GPU-capable designs.
+    # GPU-domain traffic must appear for every GPU-capable design.
     assert any(c == ("host-pipeline", "gpu", False) for c in cells)
     assert any(c[0] == "enhanced-gdr" and c[1] == "gpu" for c in cells)
+    assert any(c == ("device-initiated", "gpu", False) for c in cells)
+    assert any(c == ("device-initiated", "gpu", True) for c in cells)

@@ -153,3 +153,50 @@ def test_repro_renderers():
     namespace["test_check_repro_seed2"]()  # the emitted test must run green
     cmd = to_cli_command(w)
     assert "--seed 2" in cmd and "--design naive" in cmd
+
+
+def test_span_parity_ledger_reconciles_in_span_retransmission():
+    """A 936 KB inter-node write holds the wire far longer than a flap
+    window, so RC can lose it in flight and retransmit *inside* the
+    same ``rdma_write`` span — two hold events, one span.  The RC
+    ledger must record exactly that surplus and the span-parity oracle
+    must reconcile through it (shrunk from check seed 10046)."""
+    from repro.check import BufSpec
+
+    w = Workload(
+        seed=10046, design="device-initiated", nodes=2, pes_per_node=2,
+        buffers=(BufSpec(name="hbig", domain="host", size=4194304,
+                         slot_bytes=4194304),),
+        rounds=((WOp(uid=3, kind="put_nbi", pe=0, target=2, buf="hbig",
+                     slot=0, nbytes=936367, local_device=True),),),
+        faults=True,
+    )
+    report = check_workload(w)
+    assert report.passed, report.summary()
+    traced = report.runs["traced"]
+    # The ledger actually engaged — this is not a vacuous parity pass.
+    assert traced.stats["rc_retx_holds"] >= 1
+    assert traced.event_rdma_writes == (
+        traced.span_rdma_writes
+        - traced.stats["rc_aborted_wrs"]
+        + traced.stats["rc_retx_holds"]
+    )
+
+
+def test_span_parity_ledger_counts_zero_hold_aborts():
+    """Drawn seed 10013: two WRs exhaust RC retry without ever holding
+    the wire (every attempt dead at acquire time), leaving spans with
+    no hold event.  The ledger's abort count must cover them."""
+    w = generate_workload(
+        10013, ops=12, design="enhanced-gdr", faults=True,
+        max_nbytes=4194304, nodes=2, pes_per_node=2,
+    )
+    report = check_workload(w)
+    assert report.passed, report.summary()
+    traced = report.runs["traced"]
+    assert traced.stats["rc_aborted_wrs"] >= 1
+    assert traced.event_rdma_writes == (
+        traced.span_rdma_writes
+        - traced.stats["rc_aborted_wrs"]
+        + traced.stats["rc_retx_holds"]
+    )

@@ -205,7 +205,32 @@ def test_timeout_fails_the_job():
         assert "timeout" in job.error
         assert sched.counters["timeouts"] == 1
 
-    run_async(scheduler_session(body))
+    # Timeouts are transient, so with a retry budget the job would be
+    # re-queued; a zero budget makes the first timeout terminal.
+    run_async(scheduler_session(body, retry_limit=0))
+
+
+def test_timeout_is_transient_and_retries_any_job():
+    async def body(sched):
+        # No faults flag: the retry budget still applies because a
+        # worker timeout is an infrastructure (transient) cause.
+        job, _ = sched.submit(
+            {"kind": "synthetic", "key": "slow2", "sleep": 30, "timeout": 0.05}
+        )
+        await wait_terminal(job)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 2  # first try + one transient retry
+        assert sched.counters["retried"] == 1
+        retries = [
+            e["data"]
+            for e in job.events.since(0)
+            if e["type"] == "progress" and e["data"].get("phase") == "retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0]["cause"] == "transient"
+        assert retries[0]["retries_left"] == 0
+
+    run_async(scheduler_session(body, retry_limit=1))
 
 
 def test_bounded_retry_for_fault_flagged_jobs():
@@ -216,6 +241,12 @@ def test_bounded_retry_for_fault_flagged_jobs():
         await wait_terminal(job)
         assert job.state is JobState.DONE and job.attempts == 2
         assert sched.counters["retried"] == 1
+        retries = [
+            e["data"]
+            for e in job.events.since(0)
+            if e["type"] == "progress" and e["data"].get("phase") == "retry"
+        ]
+        assert len(retries) == 1 and retries[0]["cause"] == "fault-flagged"
         # Without the faults flag the same failure is terminal.
         dead, _ = sched.submit(
             {"kind": "synthetic", "key": "dead", "fail_attempts": 1}

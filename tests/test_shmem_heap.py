@@ -165,3 +165,56 @@ def test_property_interleaved_alloc_free_stays_consistent(data):
             live[off] = size
     assert h.live_bytes == sum(live.values())
     assert h.live_bytes + h.free_bytes <= h.capacity
+
+
+# ------------------------------------------------- block identity (SymmetricHeap)
+def _heap(size=4096):
+    from repro.cuda.memory import MemKind, MemorySpace
+    from repro.shmem.constants import Domain
+    from repro.shmem.heap import SymmetricHeap
+
+    alloc = MemorySpace().allocate(MemKind.SHM, size, node_id=0, owner=0, tag="t")
+    return SymmetricHeap(0, Domain.HOST, alloc)
+
+
+def test_symmetric_heap_generations_are_per_block():
+    h = _heap()
+    a = h.shmalloc(64)
+    b = h.shmalloc(64)
+    assert h.generation(a) != h.generation(b)
+
+
+def test_symmetric_heap_double_free_of_recycled_offset_rejected():
+    """The bug class: free+shmalloc recycles an offset, then a stale
+    handle frees it again.  With offset-only identity that silently
+    released the *new* block; the (offset, generation) identity makes
+    it a loud error and keeps the live block live."""
+    h = _heap()
+    a = h.shmalloc(64)
+    stale = h.generation(a)
+    h.shfree(a, stale)
+    b = h.shmalloc(64)
+    assert b == a  # first-fit recycles the offset
+    with pytest.raises(ShmemError, match="double free"):
+        h.shfree(a, stale)
+    # The recycled block survived the rejected stale free.
+    assert h.allocator.contains_live(b, 64)
+    h.shfree(b, h.generation(b))
+    assert h.allocator.live_bytes == 0
+
+
+def test_symmetric_heap_plain_double_free_still_rejected():
+    h = _heap()
+    a = h.shmalloc(64)
+    h.shfree(a)
+    with pytest.raises(ShmemError):
+        h.shfree(a)
+
+
+def test_symmetric_heap_free_without_generation_stays_legal():
+    """Generation-less frees (the pre-fix call shape, still used for
+    non-shmalloc'd reservations) keep working on live blocks."""
+    h = _heap()
+    a = h.shmalloc(128)
+    h.shfree(a)
+    assert h.allocator.live_bytes == 0

@@ -216,3 +216,115 @@ def test_gdr_hh_never_touches_gpu_paths(gdr):
 def test_route_reason_strings_populated(gdr):
     r = gdr.select(Op.PUT, Config.DD, Locality.INTER_NODE, LARGE)
     assert "Fig 4" in r.reason
+
+
+# ------------------------------------------------------------ device-initiated
+@pytest.fixture
+def dev():
+    from repro.shmem.protocols import DeviceInitiatedSelector
+
+    return DeviceInitiatedSelector(P)
+
+
+def test_device_self_is_local(dev):
+    assert dev.select(Op.PUT, Config.DD, Locality.SELF, LARGE).protocol is Protocol.LOCAL_COPY
+
+
+@pytest.mark.parametrize("config", list(Config))
+@pytest.mark.parametrize("op", [Op.PUT, Op.GET])
+def test_device_intranode_is_peer_load_store(dev, config, op):
+    for n in (8, SMALL, LARGE):
+        r = dev.select(op, config, Locality.INTRA_NODE, n)
+        assert r.protocol is Protocol.DEVICE_P2P
+        assert r.one_sided
+
+
+@pytest.mark.parametrize("config", list(Config))
+@pytest.mark.parametrize("op", [Op.PUT, Op.GET])
+def test_device_internode_is_device_gdr_at_every_size(dev, config, op):
+    """No size thresholds: the thresholds of the host designs dodge
+    host staging costs the device design does not have."""
+    for n in (8, SMALL, LARGE, 4 << 20):
+        r = dev.select(op, config, Locality.INTER_NODE, n)
+        assert r.protocol is Protocol.DEVICE_GDR
+        assert r.one_sided
+
+
+def test_device_routes_ignore_socket_placement(dev):
+    """Host designs steer on socket locality (P2P write bottleneck);
+    the device design has no proxy to fall back to, so placement
+    cannot change the route."""
+    for lss in (True, False):
+        for rss in (True, False):
+            r = dev.select(
+                Op.PUT, Config.DD, Locality.INTER_NODE, LARGE,
+                local_same_socket=lss, remote_same_socket=rss,
+            )
+            assert r.protocol is Protocol.DEVICE_GDR
+
+
+# ------------------------------------------------------------ design registry
+def test_registry_unknown_design_is_friendly_everywhere():
+    from repro.shmem.designs import design_spec
+
+    with pytest.raises(ShmemError, match="unknown runtime design"):
+        design_spec("warp")
+    with pytest.raises(ShmemError, match="choose from"):
+        make_selector("warp", P)
+
+
+def test_registry_derived_views_agree():
+    import repro.shmem.capabilities as capabilities
+    import repro.shmem.protocols as protocols
+    from repro.shmem.designs import (
+        capability_table,
+        design_names,
+        design_spec,
+        selector_table,
+    )
+
+    assert protocols.SELECTORS == selector_table()
+    assert capabilities.TABLE_I == capability_table()
+    for name in design_names():
+        spec = design_spec(name)
+        assert protocols.SELECTORS[name] is spec.selector
+        assert capabilities.TABLE_I[name] is spec.caps
+        assert spec.caps.design == name
+        assert spec.selector.design == name
+
+
+def test_registry_covers_all_four_designs():
+    from repro.shmem.designs import design_names, design_spec
+
+    names = design_names()
+    for required in ("naive", "host-pipeline", "enhanced-gdr", "device-initiated"):
+        assert required in names
+    dev = design_spec("device-initiated")
+    assert dev.device_initiated and not dev.host_staging and not dev.proxies
+    gdr = design_spec("enhanced-gdr")
+    assert gdr.proxies and gdr.registers_gpu_heap and not gdr.device_initiated
+
+
+FIG_SIZES = [1, 8, 64, 512, 4096, 32768, 262144, 1 << 20, 4 << 20]
+
+
+def test_all_designs_resolve_identical_route_echo_fields():
+    """Every design's selector must echo the (op, config, locality,
+    nbytes) it was asked about — the bench runner and span markers key
+    on these fields, so a selector that rewrites them would silently
+    mislabel Fig 6/8 sweep points."""
+    from repro.shmem.designs import design_names
+
+    selectors = [make_selector(name, P) for name in design_names()]
+    for op in (Op.PUT, Op.GET):
+        for config in Config:
+            for loc in (Locality.SELF, Locality.INTRA_NODE, Locality.INTER_NODE):
+                for n in FIG_SIZES:
+                    for sel in selectors:
+                        try:
+                            r = sel.select(op, config, loc, n)
+                        except UnsupportedConfiguration:
+                            continue
+                        assert (r.op, r.config, r.locality, r.nbytes) == (
+                            op, config, loc, n,
+                        ), (sel.design, op, config, loc, n)
