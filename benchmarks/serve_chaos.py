@@ -1,0 +1,343 @@
+#!/usr/bin/env python
+"""Service chaos: SIGKILL/restart cycles against a journaled service,
+asserting zero lost and zero duplicated jobs.
+
+Usage:
+    PYTHONPATH=src python benchmarks/serve_chaos.py \
+        [--jobs 10000] [--distinct 2048] [--kills 5] [--seed 1234] \
+        [--sweeps table1,fig6a] [--output serve_chaos.json]
+
+The harness soaks a subprocess service (write-ahead journal enabled)
+with synthetic jobs cycling through ``--distinct`` dedup keys, and at
+``--kills`` seeded points mid-soak sends the service SIGKILL — no
+drain, no warning, torn journal tail and all — then restarts it on the
+same port and journal directory and keeps submitting through the
+resilient client (jittered-backoff reconnects).  A few quick sweep
+jobs ride along so a crash can interrupt real simulation work.
+
+Invariants asserted (the crash-safety contract of DESIGN.md §10):
+
+* **zero lost jobs** — after the final graceful drain, an offline
+  :meth:`JobJournal.recover` shows every journaled admission terminal
+  ``done`` (nothing queued/running/failed/cancelled);
+* **zero duplicated jobs** — dedup keys are unique across journaled
+  admissions, and the client-observed ack mapping key -> job id is
+  stable across every restart (resubmissions coalesce, never fork);
+* **bit-identical results** — sweep jobs interrupted or replayed by
+  crashes report the same ``output_sha256`` as an in-process
+  no-crash reference run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import shutil
+import signal
+import socket
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.reporting.artifacts import artifact_doc, write_json_artifact  # noqa: E402
+from repro.serve.client import ServeClient, wait_for_service  # noqa: E402
+from repro.serve.journal import JobJournal  # noqa: E402
+from repro.serve.server import spawn_service_subprocess  # noqa: E402
+
+
+def free_port() -> int:
+    """Reserve an ephemeral port number we can rebind across restarts."""
+    with socket.socket() as s:
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def reference_shas(experiments) -> dict:
+    """No-crash ground truth: run each sweep experiment in-process."""
+    from repro.reporting.experiments import run_experiment
+
+    out = {}
+    for exp_id in experiments:
+        output = run_experiment(exp_id, quick=True)
+        out[exp_id] = hashlib.sha256(output.encode()).hexdigest()
+    return out
+
+
+class Service:
+    """The victim: a journaled subprocess service on a fixed port."""
+
+    def __init__(self, port: int, journal_dir: Path, cache_dir: Path, args):
+        self.port = port
+        self.argv = [
+            "--port", str(port),
+            "--journal-dir", str(journal_dir),
+            "--cache-dir", str(cache_dir),
+            "--workers", str(args.workers),
+            "--compact-every", str(args.compact_every),
+            "--max-queue", str(max(200_000, args.distinct * 4)),
+        ]
+        self.proc = None
+        self.starts = 0
+
+    def start(self) -> None:
+        self.proc, _ = spawn_service_subprocess(self.argv)
+        self.starts += 1
+
+    def sigkill(self) -> None:
+        # SIGKILL the whole process group: the service AND its forked
+        # pool workers die instantly — no drain, no journal close,
+        # torn tail — and nothing lingers to hold the port open.
+        try:
+            os.killpg(os.getpgid(self.proc.pid), signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            self.proc.kill()
+        self.proc.wait(timeout=30)
+        self._archive(f"kill-{self.starts:02d}")
+
+    def _archive(self, tag: str) -> None:
+        """Snapshot the journal files as they were at this crash —
+        the post-mortem trail CI archives alongside the report."""
+        journal_dir = Path(self.argv[self.argv.index("--journal-dir") + 1])
+        dest = journal_dir / "generations" / tag
+        dest.mkdir(parents=True, exist_ok=True)
+        for name in ("journal.ndjson", "snapshot.json"):
+            src = journal_dir / name
+            if src.exists():
+                shutil.copy2(src, dest / name)
+
+    def sigterm(self) -> None:
+        self.proc.send_signal(signal.SIGTERM)  # graceful drain
+        self.proc.wait(timeout=60)
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=10_000,
+                    help="synthetic submissions across the whole soak")
+    ap.add_argument("--distinct", type=int, default=2048,
+                    help="distinct dedup keys the submissions cycle through")
+    ap.add_argument("--kills", type=int, default=5,
+                    help="SIGKILL/restart cycles injected mid-soak")
+    ap.add_argument("--batch", type=int, default=250,
+                    help="specs per HTTP batch submission")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--rounds", type=int, default=32,
+                    help="sha256 rounds per unique synthetic execution")
+    ap.add_argument("--seed", type=int, default=1234,
+                    help="seeds the kill schedule and key order")
+    ap.add_argument("--sweeps", default="table1,fig6a",
+                    help="comma-separated quick sweep experiments to mix in")
+    ap.add_argument("--compact-every", type=int, default=512,
+                    help="journal compaction cadence (small = exercised often)")
+    ap.add_argument("--journal-dir", default=str(REPO / "benchmarks" / ".chaos_journal"))
+    ap.add_argument("--drain-timeout", type=float, default=120.0)
+    ap.add_argument("--output", default=str(REPO / "serve_chaos.json"))
+    args = ap.parse_args(argv)
+
+    import random
+
+    rng = random.Random(args.seed)
+    journal_dir = Path(args.journal_dir)
+    cache_dir = journal_dir / "sweep_cache"  # private: force real executions
+    if journal_dir.exists():
+        shutil.rmtree(journal_dir)
+    journal_dir.mkdir(parents=True)
+
+    sweep_ids = [s for s in args.sweeps.split(",") if s]
+    print(f"reference run: {len(sweep_ids)} quick sweeps in-process ...", flush=True)
+    ref_shas = reference_shas(sweep_ids)
+
+    # Seeded kill schedule: fractions of the submission stream, away
+    # from the very start/end so every kill lands under real load.
+    kill_points = sorted(
+        int(args.jobs * (0.12 + 0.76 * (i + rng.random()) / args.kills))
+        for i in range(args.kills)
+    )
+    print(f"kill schedule (after N submissions): {kill_points}", flush=True)
+
+    svc = Service(free_port(), journal_dir, cache_dir, args)
+    svc.start()
+    t0 = time.perf_counter()
+    ack_ids: dict = {}  # synthetic key -> set of job ids ever acked
+    forked_keys = []
+    sweep_jobs: dict = {}  # exp_id -> last acked job id
+    recoveries = []
+    kills_done = 0
+    sent = 0
+
+    def chaos_client() -> ServeClient:
+        # Generous retry budget: must ride out a dead window spanning
+        # SIGKILL + python startup + journal replay (a few seconds).
+        return ServeClient(svc.url, timeout=30.0, retries=12,
+                           backoff_base=0.1, backoff_cap=1.0,
+                           jitter_seed=args.seed)
+
+    client = wait_for_service(svc.url)
+    client.close()
+    client = chaos_client()
+
+    def submit_sweeps() -> None:
+        for exp_id in sweep_ids:
+            ack = client.submit({"kind": "sweep", "experiment": exp_id,
+                                 "quick": True, "priority": 15})
+            sweep_jobs[exp_id] = ack["job"]["id"]
+
+    try:
+        submit_sweeps()
+        while sent < args.jobs:
+            if kills_done < len(kill_points) and sent >= kill_points[kills_done]:
+                print(f"  KILL #{kills_done + 1} at {sent:,} submissions", flush=True)
+                svc.sigkill()
+                svc.start()
+                kills_done += 1
+                probe = wait_for_service(svc.url, timeout=30.0)
+                counters = probe.stats()["counters"]
+                probe.close()
+                recoveries.append({
+                    "after_submissions": sent,
+                    "recovered": counters["recovered"],
+                    "resumed": counters["resumed"],
+                })
+                print(f"    recovered {counters['recovered']} jobs "
+                      f"({counters['resumed']} resumed)", flush=True)
+                # Re-ask for the sweeps: dedup must answer with the
+                # recovered jobs (same ids), never fork a duplicate.
+                submit_sweeps()
+            n = min(args.batch, args.jobs - sent)
+            specs = []
+            for _ in range(n):
+                spec = {
+                    "kind": "synthetic",
+                    "key": f"chaos-{rng.randrange(args.distinct):05d}",
+                    "rounds": args.rounds,
+                }
+                if rng.random() < 0.05:
+                    # A slice of slow jobs keeps real work in flight at
+                    # kill time ("sleep" is not part of the dedup frame,
+                    # so these still collide with their fast twins).
+                    spec["sleep"] = 0.02
+                specs.append(spec)
+            acks = client.submit_batch(specs)
+            assert len(acks) == n, f"lost acks: sent {n}, got {len(acks)}"
+            for spec, ack in zip(specs, acks):
+                ids = ack_ids.setdefault(spec["key"], set())
+                ids.add(ack["id"])
+                if len(ids) > 1 and spec["key"] not in forked_keys:
+                    forked_keys.append(spec["key"])
+            sent += n
+            if sent % 2000 < args.batch:
+                print(f"  {sent:>7,} submitted ({kills_done} kills)", flush=True)
+
+        # Drain: every queued/running job reaches a terminal state.
+        deadline = time.monotonic() + args.drain_timeout
+        while True:
+            stats = client.stats()
+            if stats["queue_depth"] == 0 and stats["running"] == 0:
+                break
+            if time.monotonic() > deadline:
+                raise AssertionError(f"queue did not drain: {stats}")
+            time.sleep(0.1)
+
+        # Sweep results must match the no-crash reference bit-for-bit.
+        sweep_results = {}
+        for exp_id, job_id in sweep_jobs.items():
+            detail = client.wait(job_id, timeout=args.drain_timeout)
+            sweep_results[exp_id] = detail["result"]["output_sha256"]
+            assert sweep_results[exp_id] == ref_shas[exp_id], (
+                f"sweep {exp_id}: crash-run sha {sweep_results[exp_id]} "
+                f"!= reference {ref_shas[exp_id]}"
+            )
+        final_stats = client.stats()
+        total_wall = time.perf_counter() - t0
+    finally:
+        client.close()
+        if svc.proc.poll() is None:
+            svc.sigterm()
+
+    # ---- every kill must have exercised recovery -----------------------
+    assert all(r["recovered"] > 0 for r in recoveries), (
+        f"a restart recovered nothing (kill landed on an empty journal?): "
+        f"{recoveries}"
+    )
+
+    # ---- client-side duplicate check -----------------------------------
+    assert not forked_keys, (
+        f"{len(forked_keys)} dedup keys mapped to >1 job id (duplicated "
+        f"execution): {forked_keys[:5]}"
+    )
+
+    # ---- offline post-mortem: replay the journal ourselves -------------
+    post = JobJournal(journal_dir).recover()
+    by_state: dict = {}
+    seen_keys: dict = {}
+    duplicate_admits = []
+    for rec in post.jobs.values():
+        by_state[rec.state] = by_state.get(rec.state, 0) + 1
+        if rec.dedup_key in seen_keys:
+            duplicate_admits.append(rec.dedup_key)
+        seen_keys[rec.dedup_key] = rec.id
+    not_done = {s: n for s, n in by_state.items() if s != "done"}
+    assert not not_done, f"lost/unfinished jobs in journal: {not_done}"
+    assert not duplicate_admits, (
+        f"duplicate admits in journal: {duplicate_admits[:5]}"
+    )
+    # Every key the client ever got an ack for must be in the journal
+    # with the exact job id the client saw.
+    missing = [k for k, ids in ack_ids.items()
+               if seen_keys.get(dedup_key_of(k, args.rounds)) not in ids]
+    assert not missing, f"acked keys missing from journal: {missing[:5]}"
+
+    doc = artifact_doc("serve_chaos", {
+        "jobs": args.jobs,
+        "distinct_keys": args.distinct,
+        "keys_touched": len(ack_ids),
+        "kills": kills_done,
+        "kill_schedule": kill_points,
+        "seed": args.seed,
+        "service_starts": svc.starts,
+        "recoveries": recoveries,
+        "total_wall_s": round(total_wall, 2),
+        "sweeps": {
+            exp_id: {"sha256": sha, "bit_identical": True}
+            for exp_id, sha in sweep_results.items()
+        },
+        "journal_postmortem": {
+            "jobs": len(post.jobs),
+            "by_state": by_state,
+            "duplicate_admits": 0,
+            "next_jseq": post.next_jseq,
+            "snapshot_jseq": post.snapshot_jseq,
+        },
+        "lost_jobs": 0,
+        "duplicated_jobs": 0,
+        "final_counters": final_stats["counters"],
+        "final_journal": final_stats["journal"],
+    })
+    write_json_artifact(args.output, doc)
+    print(
+        f"serve chaos: {args.jobs:,} jobs over {len(ack_ids)} keys survived "
+        f"{kills_done} SIGKILLs ({svc.starts} service starts) in "
+        f"{total_wall:.1f}s -- 0 lost, 0 duplicated, "
+        f"{len(sweep_results)} sweeps bit-identical -> {args.output}"
+    )
+    return 0
+
+
+def dedup_key_of(key: str, rounds: int) -> str:
+    """The journal-side dedup key of one harness synthetic spec."""
+    from repro.serve.jobs import dedup_key_for
+
+    return dedup_key_for("synthetic", {"key": key, "rounds": rounds}, "")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,16 @@ single source of truth for both concerns:
 * :func:`read_json_artifact` loads a document and optionally checks
   the envelope kind, so a gate script fed the wrong report fails
   loudly instead of silently reading zeros.
+
+The ``repro serve`` write-ahead journal (DESIGN.md §10) adds an
+append-only flavour of the same concerns:
+
+* :func:`append_ndjson` appends one JSON document as a single
+  ``\\n``-terminated line and flushes it, so a killed process loses at
+  most the line it was mid-writing — never an earlier one;
+* :func:`read_ndjson` streams a journal back, tolerating exactly one
+  torn *trailing* line (the mid-write casualty of a crash) while still
+  failing loudly on corruption anywhere else.
 """
 
 from __future__ import annotations
@@ -73,6 +83,46 @@ def write_json_artifact(
             pass
         raise
     return path
+
+
+def append_ndjson(
+    fh, doc: Dict[str, Any], fsync: bool = False
+) -> None:
+    """Append ``doc`` to an open NDJSON file handle as one line.
+
+    The line is written in a single ``write`` call and flushed, so an
+    abrupt process death (SIGKILL) can tear at most this line — bytes
+    already flushed reach the OS page cache, which survives the
+    process.  Pass ``fsync=True`` to additionally survive machine
+    crashes at a large per-append cost.
+    """
+    fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+    fh.flush()
+    if fsync:
+        os.fsync(fh.fileno())
+
+
+def read_ndjson(path: Union[str, Path], tolerate_torn_tail: bool = True):
+    """Yield documents from an NDJSON file, skipping a torn last line.
+
+    A crash mid-append leaves at most one incomplete trailing line;
+    with ``tolerate_torn_tail`` (the default) that line is silently
+    dropped.  An unparsable line anywhere *else* is real corruption
+    and raises ``ValueError`` naming the offending line number.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    lines = path.read_text().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            yield json.loads(line)
+        except ValueError:
+            if tolerate_torn_tail and lineno == len(lines):
+                return
+            raise ValueError(f"{path}:{lineno}: corrupt NDJSON record") from None
 
 
 def read_json_artifact(path: Union[str, Path], kind: Optional[str] = None) -> Dict[str, Any]:

@@ -21,10 +21,25 @@ trace exports — flows through a persistent asyncio service with:
   run_all.py --serve``, ``repro check --serve-url``, and ``repro
   trace --serve-url`` run as service clients, and ``benchmarks/
   serve_soak.py`` can push a million-request synthetic soak through
-  the real wire path.
+  the real wire path;
+* **crash safety** (DESIGN.md §10 durability) — an optional
+  write-ahead :class:`~repro.serve.journal.JobJournal` records every
+  admission and lifecycle edge before it takes effect in memory, so a
+  restarted service replays the journal and resumes queued/running
+  jobs exactly once; SIGTERM triggers a graceful drain (stop
+  admitting, finish-or-park running jobs, flush telemetry, compact);
+  :meth:`ServeClient.stream_resume` rides out restarts on the durable
+  ``jseq`` cursor; ``benchmarks/serve_chaos.py`` SIGKILLs the service
+  mid-soak and asserts zero lost, zero duplicated jobs.
 """
 
 from repro.serve.client import JobFailed, ServeClient, ServeError, wait_for_service
+from repro.serve.journal import (
+    JobJournal,
+    JournalError,
+    RecoveredJob,
+    RecoveredState,
+)
 from repro.serve.jobs import (
     DEFAULT_PRIORITY,
     KINDS,
@@ -35,7 +50,7 @@ from repro.serve.jobs import (
     dedup_key_for,
     validate_spec,
 )
-from repro.serve.scheduler import JobScheduler, QueueFull, SchedulerConfig
+from repro.serve.scheduler import Draining, JobScheduler, QueueFull, SchedulerConfig
 from repro.serve.server import (
     ServeService,
     ServiceThread,
@@ -46,14 +61,19 @@ from repro.serve.telemetry import EventBuffer
 
 __all__ = [
     "DEFAULT_PRIORITY",
+    "Draining",
     "EventBuffer",
     "InvalidTransition",
     "Job",
     "JobFailed",
+    "JobJournal",
     "JobScheduler",
     "JobState",
+    "JournalError",
     "KINDS",
     "QueueFull",
+    "RecoveredJob",
+    "RecoveredState",
     "SchedulerConfig",
     "ServeClient",
     "ServeError",

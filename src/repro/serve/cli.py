@@ -34,6 +34,16 @@ def build_serve_parser(p: Optional[argparse.ArgumentParser] = None) -> argparse.
                    help="bounded retries for fault-flagged jobs")
     p.add_argument("--max-queue", type=int, default=200_000,
                    help="admission control: max queued jobs")
+    p.add_argument("--journal-dir", default=None,
+                   help="write-ahead job journal directory (enables crash "
+                        "recovery; omit to run without durability)")
+    p.add_argument("--compact-every", type=int, default=2048,
+                   help="journal records between snapshot compactions")
+    p.add_argument("--journal-fsync", action="store_true",
+                   help="fsync every journal append (stronger durability, slower)")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="SIGTERM drain: seconds to let running jobs finish "
+                        "before parking them in the journal")
     return p
 
 
@@ -48,34 +58,49 @@ def serve_main(args) -> int:
         default_timeout=args.timeout,
         retry_limit=args.retry_limit,
         max_queue=args.max_queue,
+        journal_dir=Path(args.journal_dir) if args.journal_dir else None,
+        journal_compact_every=args.compact_every,
+        journal_fsync=bool(getattr(args, "journal_fsync", False)),
+        drain_grace=args.drain_grace,
     )
 
     async def main() -> dict:
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(sig, stop.set)
-            except NotImplementedError:  # pragma: no cover - non-posix
-                pass
+        drain = asyncio.Event()
+        # SIGINT stops hard (journal parks queued work on close);
+        # SIGTERM drains gracefully — stop admitting, let running jobs
+        # finish inside the grace window, park the rest, compact.
+        try:
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            loop.add_signal_handler(signal.SIGTERM, drain.set)
+        except NotImplementedError:  # pragma: no cover - non-posix
+            pass
         return await run_service(
             config,
             host=args.host,
             port=args.port,
             announce=lambda line: print(line, flush=True),
             stop_event=stop,
+            drain_event=drain,
         )
 
     stats = asyncio.run(main())
     counters = stats["counters"]
-    print(
+    line = (
         f"repro-serve stopped: {counters['submitted']} submitted "
         f"({counters['unique']} unique, {counters['coalesced']} coalesced, "
         f"{counters['cached_memo'] + counters['cached_disk']} cache hits), "
         f"{counters['done']} done, {counters['failed']} failed, "
-        f"{counters['cancelled']} cancelled",
-        flush=True,
+        f"{counters['cancelled']} cancelled"
     )
+    if counters.get("recovered") or counters.get("parked"):
+        line += (
+            f", {counters.get('recovered', 0)} recovered "
+            f"({counters.get('resumed', 0)} resumed), "
+            f"{counters.get('parked', 0)} parked"
+        )
+    print(line, flush=True)
     return 0
 
 

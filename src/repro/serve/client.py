@@ -5,13 +5,27 @@ for plain calls, a dedicated close-delimited connection per event
 stream.  Every CLI that can run as a service client
 (``benchmarks/run_all.py --serve``, ``repro check --serve-url``,
 ``repro trace --serve-url``, ``repro submit``) goes through this
-class, as do the soak/smoke benchmarks.
+class, as do the soak/smoke/chaos benchmarks.
+
+Resilience (DESIGN.md §10): connection-level failures — the service
+restarting, a half-open keep-alive socket — are retried with jittered
+exponential backoff (``retries``/``backoff_base``/``backoff_cap``;
+the jitter RNG is seeded, so test runs are reproducible).  Retrying a
+``POST /jobs`` after an ambiguous failure is safe by construction:
+submissions dedup on their key, so an at-least-once wire gives
+exactly-once admission.  A ``429`` (queue full) is retried honouring
+the ``Retry-After`` header; a ``503`` (draining) is surfaced — the
+caller decides whether to wait out the restart.
+:meth:`ServeClient.stream_resume` follows a job's ``/events`` stream
+across service restarts by tracking the journal sequence cursor
+(``jseq``) of journaled events and reconnecting with ``after_jseq``.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from typing import Any, Dict, Iterable, Iterator, List, Optional
@@ -41,13 +55,25 @@ class JobFailed(ServeError):
 class ServeClient:
     """Blocking JSON client bound to one service URL."""
 
-    def __init__(self, url: str = "http://127.0.0.1:8787", timeout: float = 60.0):
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8787",
+        timeout: float = 60.0,
+        retries: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        jitter_seed: int = 0xC0FFEE,
+    ):
         split = urlsplit(url if "//" in url else f"http://{url}")
         if split.scheme not in ("", "http"):
             raise ValueError(f"only http:// service URLs are supported, got {url!r}")
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 8787
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
         self._conn: Optional[http.client.HTTPConnection] = None
 
     @property
@@ -67,12 +93,20 @@ class ServeClient:
 
     # ------------------------------------------------------------- transport
 
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Jittered exponential backoff: 0.5x–1.5x of the capped
+        exponential delay, from a seeded RNG (reproducible tests)."""
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        time.sleep(delay * (0.5 + self._rng.random()))
+
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         payload = None if body is None else json.dumps(body)
-        # One retry on a dropped keep-alive connection.
-        for attempt in (1, 2):
+        # Connection-level failures (dropped keep-alive, service
+        # restarting) retry with jittered exponential backoff;
+        # submissions stay idempotent because they dedup on their key.
+        for attempt in range(self.retries + 1):
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
                     self.host, self.port, timeout=self.timeout
@@ -84,11 +118,21 @@ class ServeClient:
                 )
                 resp = self._conn.getresponse()
                 raw = resp.read()
-                break
             except (http.client.HTTPException, ConnectionError, socket.timeout, OSError):
                 self.close()
-                if attempt == 2:
+                if attempt >= self.retries:
                     raise
+                self._backoff_sleep(attempt)
+                continue
+            if resp.status == 429 and attempt < self.retries:
+                # Admission control: honour Retry-After, then retry.
+                try:
+                    retry_after = float(resp.getheader("Retry-After", "1"))
+                except ValueError:
+                    retry_after = 1.0
+                time.sleep(min(retry_after, self.backoff_cap * 4))
+                continue
+            break
         try:
             doc = json.loads(raw) if raw else {}
         except ValueError:
@@ -155,12 +199,19 @@ class ServeClient:
             out[job_id] = self.wait(job_id, remaining, raise_on_failure)
         return out
 
-    def stream(self, job_id: str, after: int = 0) -> Iterator[Dict[str, Any]]:
+    def stream(
+        self, job_id: str, after: int = 0, after_jseq: int = 0
+    ) -> Iterator[Dict[str, Any]]:
         """Follow a job's telemetry stream (own connection); yields
-        event dicts until the service's ``eos`` sentinel (or EOF)."""
+        event dicts until the service's ``eos`` sentinel (or EOF).
+        ``after_jseq`` resumes from a journal sequence cursor —
+        journaled state edges at or below it are filtered server-side."""
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            conn.request("GET", f"/jobs/{job_id}/events?after={after}")
+            query = f"after={after}"
+            if after_jseq:
+                query += f"&after_jseq={after_jseq}"
+            conn.request("GET", f"/jobs/{job_id}/events?{query}")
             resp = conn.getresponse()
             if resp.status != 200:
                 raw = resp.read()
@@ -183,16 +234,65 @@ class ServeClient:
         finally:
             conn.close()
 
+    def stream_resume(
+        self, job_id: str, after_jseq: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Follow a job's stream *across service restarts*.
+
+        Reconnects with jittered backoff on connection failures (and on
+        an EOF without the ``eos`` sentinel — a restarting service
+        closes streams without one), resuming from the highest journal
+        sequence cursor seen so far, so journaled state edges are
+        yielded exactly once.  Non-journaled events (progress, metrics,
+        spans) replay from the live buffer on reconnect and may repeat
+        or be lost across a crash — filter on ``jseq`` for exact-once
+        consumption.  Terminates when the stream ends with ``eos``
+        (terminal job) or the job is already terminal on reconnect.
+        """
+        cursor = after_jseq
+        attempt = 0
+        while True:
+            got_any = False
+            try:
+                for event in self.stream(job_id, after_jseq=cursor):
+                    got_any = True
+                    attempt = 0
+                    jseq = event.get("jseq")
+                    if jseq is not None:
+                        cursor = max(cursor, jseq)
+                    yield event
+                # stream() returns on eos or bare EOF; on eos the job is
+                # terminal, on EOF we must reconnect and check.
+                detail = self.job(job_id)
+                if detail["state"] in ("done", "failed", "cancelled"):
+                    return
+            except (ServeError,) as exc:
+                if exc.status == 404:
+                    # The job predates the journal horizon (compacted
+                    # away as terminal) — nothing more to stream.
+                    return
+                raise
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError):
+                pass
+            if not got_any:
+                attempt += 1
+                if attempt > self.retries:
+                    raise ServeError(
+                        0, f"stream for job {job_id} unreachable after {self.retries} retries"
+                    )
+                self._backoff_sleep(attempt - 1)
+
 
 def wait_for_service(url: str, timeout: float = 15.0, interval: float = 0.1) -> ServeClient:
     """Poll ``/healthz`` until the service answers; returns a client."""
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
     while time.monotonic() < deadline:
-        client = ServeClient(url, timeout=min(5.0, timeout))
+        client = ServeClient(url, timeout=min(5.0, timeout), retries=0)
         try:
             if client.healthz():
                 client.timeout = 60.0
+                client.retries = 5  # probe ran bare; returned client is resilient
                 return client
         except Exception as exc:  # connection refused while starting
             last_error = exc

@@ -186,13 +186,23 @@ class Job:
     #: How many later identical requests were folded into this job.
     coalesced: int = 0
     cancel_requested: bool = False
+    #: True when this job was rebuilt from the write-ahead journal
+    #: after a service restart (DESIGN.md §10).
+    recovered: bool = False
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     events: EventBuffer = field(default_factory=EventBuffer)
 
-    def advance(self, new_state: JobState, error: Optional[str] = None) -> None:
+    def advance(
+        self,
+        new_state: JobState,
+        error: Optional[str] = None,
+        jseq: Optional[int] = None,
+    ) -> None:
         """Take one lifecycle edge, emit the ``state`` event, and close
-        the telemetry buffer on terminal states."""
+        the telemetry buffer on terminal states.  ``jseq`` is the
+        write-ahead journal sequence number of this edge when the
+        scheduler journaled it (the durable stream-resume cursor)."""
         if new_state not in TRANSITIONS[self.state]:
             raise InvalidTransition(
                 f"job {self.id}: illegal transition {self.state.value} -> {new_state.value}"
@@ -208,7 +218,7 @@ class Job:
             "state": new_state.value,
             "attempts": self.attempts,
             "error": error,
-        })
+        }, jseq=jseq)
         if new_state.terminal:
             self.events.close()
 
@@ -226,6 +236,7 @@ class Job:
             "attempts": self.attempts,
             "cached": self.cached,
             "coalesced": self.coalesced,
+            "recovered": self.recovered,
             "error": self.error,
         }
 

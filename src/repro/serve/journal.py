@@ -1,0 +1,318 @@
+"""Write-ahead job journal for ``repro serve`` (DESIGN.md §10).
+
+The scheduler records every job lifecycle edge here *before* acting on
+it, so a service killed at any instant can be restarted over the same
+journal directory and resume its queue with nothing lost and nothing
+run twice:
+
+* ``admit`` records carry the full spec (plus the dedup key and
+  priority), written before the job is enqueued — an acked submission
+  is always recoverable;
+* ``state`` records carry one lifecycle edge (``running``, ``queued``
+  for retry/park, ``done``/``failed``/``cancelled``); terminal
+  ``done`` records embed the result so the dedup memo survives a
+  restart.
+
+Every record carries a globally monotonic journal sequence number
+(``jseq``).  The scheduler stamps journaled telemetry events with the
+same ``jseq``, which is the cursor ``ServeClient.stream_resume`` uses
+to resume an ``/events`` stream across a service restart without
+duplicates.
+
+Storage is two files in the journal directory:
+
+* ``journal.ndjson`` — the append-only tail, one JSON record per
+  line via :func:`repro.reporting.artifacts.append_ndjson` (flushed
+  per record: a SIGKILL tears at most the line being written);
+* ``snapshot.json`` — a periodic compaction of everything the tail
+  implies, written atomically via
+  :func:`repro.reporting.artifacts.write_json_artifact`; after the
+  snapshot lands the tail is truncated.
+
+Recovery (:meth:`JobJournal.recover`) folds snapshot + tail into one
+:class:`RecoveredState`.  It is a pure read — replaying it twice
+yields the same state — and it skips tail records with
+``jseq <= snapshot.jseq``, so a crash between snapshot-write and
+tail-truncate double-applies nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.reporting.artifacts import (
+    append_ndjson,
+    artifact_doc,
+    read_json_artifact,
+    read_ndjson,
+    write_json_artifact,
+)
+
+#: Snapshot artifact kind (``repro/serve_journal/v1``).
+SNAPSHOT_KIND = "serve_journal"
+
+#: Journal record operations.
+OPS = ("admit", "state")
+
+#: Job states a recovered job resumes from (everything non-terminal).
+_RESUMABLE = ("queued", "running")
+
+
+@dataclass
+class RecoveredJob:
+    """One job folded out of snapshot + journal tail."""
+
+    id: str
+    kind: str
+    spec: Dict[str, Any]
+    priority: int
+    dedup_key: str
+    timeout: Optional[float]
+    submitted_at: float
+    #: Folded current state (last edge wins).
+    state: str = "queued"
+    attempts: int = 0
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    #: Every journaled state edge in order, each with its ``jseq`` —
+    #: replayed into the restored job's EventBuffer so a client's
+    #: journal-sequence cursor stays valid across the restart.
+    edges: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    @property
+    def resumable(self) -> bool:
+        return self.state in _RESUMABLE
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "priority": self.priority,
+            "dedup_key": self.dedup_key,
+            "timeout": self.timeout,
+            "submitted_at": self.submitted_at,
+            "state": self.state,
+            "attempts": self.attempts,
+            "error": self.error,
+            "result": self.result,
+            "edges": self.edges,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RecoveredJob":
+        return cls(
+            id=doc["id"],
+            kind=doc["kind"],
+            spec=doc["spec"],
+            priority=int(doc.get("priority", 0)),
+            dedup_key=doc.get("dedup_key", ""),
+            timeout=doc.get("timeout"),
+            submitted_at=float(doc.get("submitted_at", 0.0)),
+            state=doc.get("state", "queued"),
+            attempts=int(doc.get("attempts", 0)),
+            error=doc.get("error"),
+            result=doc.get("result"),
+            edges=list(doc.get("edges", [])),
+        )
+
+
+@dataclass
+class RecoveredState:
+    """Everything a restarted scheduler needs: jobs in admit order,
+    the next journal sequence number, and snapshot metadata."""
+
+    #: Admit-ordered folded jobs (dict preserves insertion order).
+    jobs: "Dict[str, RecoveredJob]"
+    next_jseq: int
+    snapshot_jseq: int = 0
+    snapshot_at: Optional[float] = None
+
+    @property
+    def resumable(self) -> List[RecoveredJob]:
+        return [j for j in self.jobs.values() if j.resumable]
+
+    @property
+    def terminal(self) -> List[RecoveredJob]:
+        return [j for j in self.jobs.values() if j.terminal]
+
+
+class JournalError(RuntimeError):
+    """The journal directory holds something recovery cannot fold."""
+
+
+class JobJournal:
+    """Append-only write-ahead journal with periodic compaction."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        compact_every: int = 2048,
+        fsync: bool = False,
+    ):
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.tail_path = self.dir / "journal.ndjson"
+        self.snapshot_path = self.dir / "snapshot.json"
+        self.compact_every = max(1, int(compact_every))
+        self.fsync = fsync
+        #: Records appended since the last compaction (journal depth).
+        self.depth = 0
+        #: Wall-clock time of the last compaction (None = never).
+        self.last_compaction_at: Optional[float] = None
+        self.compactions = 0
+        self.appended = 0
+        self._fh = None
+        self._jseq = 0
+
+    # ------------------------------------------------------------ appending
+
+    @property
+    def jseq(self) -> int:
+        """Last journal sequence number issued."""
+        return self._jseq
+
+    def open(self, next_jseq: Optional[int] = None) -> None:
+        """Open the tail for appending (after :meth:`recover`)."""
+        if next_jseq is not None:
+            self._jseq = max(self._jseq, next_jseq - 1)
+        if self._fh is None:
+            self._fh = self.tail_path.open("a")
+            # Count existing tail records toward depth so a restart
+            # doesn't defer compaction indefinitely.
+            if self.tail_path.exists():
+                self.depth = sum(1 for _ in read_ndjson(self.tail_path))
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def append(self, op: str, **fields: Any) -> int:
+        """Write one record ahead of the action it describes; returns
+        the record's journal sequence number."""
+        if op not in OPS:
+            raise JournalError(f"unknown journal op {op!r}")
+        if self._fh is None:
+            self.open()
+        self._jseq += 1
+        record = {"jseq": self._jseq, "ts": time.time(), "op": op, **fields}
+        append_ndjson(self._fh, record, fsync=self.fsync)
+        self.depth += 1
+        self.appended += 1
+        return self._jseq
+
+    @property
+    def wants_compaction(self) -> bool:
+        return self.depth >= self.compact_every
+
+    # ----------------------------------------------------------- compaction
+
+    def compact(self, jobs: List[Dict[str, Any]]) -> Path:
+        """Write an atomic snapshot of ``jobs`` (serialised
+        :class:`RecoveredJob` dicts) and truncate the tail.
+
+        Crash-ordering: the snapshot is renamed into place *before*
+        the tail is truncated, and recovery skips tail records with
+        ``jseq <= snapshot.jseq`` — so a kill between the two steps
+        double-applies nothing.
+        """
+        path = write_json_artifact(
+            self.snapshot_path,
+            artifact_doc(SNAPSHOT_KIND, {
+                "jseq": self._jseq,
+                "compacted_at": time.time(),
+                "jobs": jobs,
+            }),
+        )
+        self.close()
+        self.tail_path.open("w").close()  # truncate
+        self._fh = self.tail_path.open("a")
+        self.depth = 0
+        self.compactions += 1
+        self.last_compaction_at = time.time()
+        return path
+
+    # ------------------------------------------------------------- recovery
+
+    def recover(self) -> RecoveredState:
+        """Fold snapshot + tail into a :class:`RecoveredState`.
+
+        Pure read: calling it twice yields identical state.  Records
+        already covered by the snapshot (``jseq <= snapshot.jseq``)
+        are skipped; an ``admit`` for an id that is already known is
+        ignored (duplicate-replay suppression); a ``state`` record for
+        an unknown id is a hard error — the write-ahead ordering
+        guarantees the admit always lands first.
+        """
+        jobs: Dict[str, RecoveredJob] = {}
+        snapshot_jseq = 0
+        snapshot_at: Optional[float] = None
+        max_jseq = 0
+        if self.snapshot_path.exists():
+            doc = read_json_artifact(self.snapshot_path, kind=SNAPSHOT_KIND)
+            snapshot_jseq = int(doc.get("jseq", 0))
+            snapshot_at = doc.get("compacted_at")
+            max_jseq = snapshot_jseq
+            for row in doc.get("jobs", []):
+                job = RecoveredJob.from_dict(row)
+                jobs[job.id] = job
+        for record in read_ndjson(self.tail_path):
+            jseq = int(record.get("jseq", 0))
+            if jseq <= snapshot_jseq:
+                continue  # already folded into the snapshot
+            max_jseq = max(max_jseq, jseq)
+            op = record.get("op")
+            if op == "admit":
+                row = record["job"]
+                if row["id"] in jobs:
+                    continue  # double replay of the same admit
+                jobs[row["id"]] = RecoveredJob.from_dict(row)
+            elif op == "state":
+                job = jobs.get(record["id"])
+                if job is None:
+                    raise JournalError(
+                        f"state record for unknown job {record['id']!r} "
+                        f"(jseq {jseq}): admit must precede every edge"
+                    )
+                job.state = record["state"]
+                job.attempts = int(record.get("attempts", job.attempts))
+                job.error = record.get("error", None)
+                if record.get("result") is not None:
+                    job.result = record["result"]
+                job.edges.append({
+                    "jseq": jseq,
+                    "state": record["state"],
+                    "attempts": job.attempts,
+                    "error": job.error,
+                })
+            else:
+                raise JournalError(f"unknown journal op {op!r} (jseq {jseq})")
+        self._jseq = max(self._jseq, max_jseq)
+        return RecoveredState(
+            jobs=jobs,
+            next_jseq=max_jseq + 1,
+            snapshot_jseq=snapshot_jseq,
+            snapshot_at=snapshot_at,
+        )
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "dir": str(self.dir),
+            "jseq": self._jseq,
+            "depth": self.depth,
+            "appended": self.appended,
+            "compactions": self.compactions,
+            "last_compaction_at": self.last_compaction_at,
+            "compact_every": self.compact_every,
+            "fsync": self.fsync,
+        }

@@ -40,6 +40,26 @@ snapshot" relies on.
 Timeouts are enforced promptly for in-loop and cancellable work; a
 pool-backed job that has already started keeps its worker slot busy
 until the underlying process returns (its result is then discarded).
+
+Durability (``config.journal_dir``, DESIGN.md §10): every admission
+and every lifecycle edge is appended to a write-ahead
+:class:`~repro.serve.journal.JobJournal` *before* the in-memory action
+— admit before enqueue, edge before ``Job.advance`` — so a SIGKILL at
+any instant leaves a journal from which :meth:`JobScheduler.recover`
+(run automatically on ``start``) rebuilds the registry: terminal jobs
+re-seed the dedup memo, queued/running jobs re-enter the queue exactly
+once (dedup on the journaled key suppresses duplicate admits; sweep
+re-executions hit the shared disk cache and stay bit-identical).
+Journaled state events carry the journal sequence number (``jseq``),
+the durable cursor ``/events`` streams resume from across restarts.
+
+Graceful degradation: :meth:`drain` (wired to SIGTERM by the CLI)
+stops admitting (:class:`Draining` → HTTP 503 + ``Retry-After``),
+gives running jobs a grace window to finish, parks the rest back to
+``QUEUED`` in the journal, flushes every telemetry stream's ``eos``
+sentinel, and compacts the journal for a fast restart.  A plain
+``stop`` also parks running jobs as ``QUEUED`` (journaled) rather than
+failing them with ``CANCELLED: service shutdown``.
 """
 
 from __future__ import annotations
@@ -49,6 +69,7 @@ import hashlib
 import heapq
 import itertools
 import os
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -63,10 +84,23 @@ from repro.serve.jobs import (
     dedup_key_for,
     validate_spec,
 )
+from repro.serve.journal import JobJournal
 
 
 class QueueFull(RuntimeError):
-    """Admission control rejected a submission (queue at capacity)."""
+    """Admission control rejected a submission (queue at capacity).
+
+    The HTTP layer maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` header — bounded queue depth instead of unbounded
+    heap growth."""
+
+
+class Draining(RuntimeError):
+    """The service is draining (or stopping) and not admitting jobs.
+
+    The HTTP layer maps this to ``503 Service Unavailable`` with a
+    ``Retry-After`` header; clients should resubmit to the restarted
+    service (dedup makes resubmission idempotent)."""
 
 
 @dataclass
@@ -89,6 +123,16 @@ class SchedulerConfig:
     retain_finished: int = 10_000
     #: Completed dedup keys answered instantly from memory.
     memo_capacity: int = 8_192
+    #: Write-ahead journal directory (None = durability off; the hot
+    #: path then never touches the journal code).
+    journal_dir: Optional[Path] = None
+    #: Journal records between snapshot compactions.
+    journal_compact_every: int = 2048
+    #: fsync every journal append (survives machine crashes, not just
+    #: process kills; costs ~one disk flush per record).
+    journal_fsync: bool = False
+    #: Seconds ``drain`` waits for running jobs before parking them.
+    drain_grace: float = 10.0
 
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -121,6 +165,15 @@ class JobScheduler:
         self._trace_lock = asyncio.Lock()
         self._sweep_runners: Dict[Tuple[bool, bool], Any] = {}
         self._fingerprint: Optional[str] = None
+        self._draining = False
+        self.drain_started_at: Optional[float] = None
+        self._journal: Optional[JobJournal] = None
+        if self.config.journal_dir is not None:
+            self._journal = JobJournal(
+                self.config.journal_dir,
+                compact_every=self.config.journal_compact_every,
+                fsync=self.config.journal_fsync,
+            )
         self.counters: Dict[str, int] = {
             "submitted": 0,
             "unique": 0,
@@ -134,6 +187,10 @@ class JobScheduler:
             "retried": 0,
             "timeouts": 0,
             "rejected": 0,
+            "rejected_draining": 0,
+            "parked": 0,
+            "recovered": 0,
+            "resumed": 0,
         }
 
     # ------------------------------------------------------------- admission
@@ -166,6 +223,12 @@ class JobScheduler:
     def submit(self, spec: Dict[str, Any]) -> Tuple[Job, str]:
         """Admit one spec; returns ``(job, mode)`` with mode one of
         ``"new"`` / ``"coalesced"`` / ``"cached"``."""
+        if self._draining or self._stopping:
+            self.counters["rejected_draining"] += 1
+            raise Draining(
+                "service is draining; not admitting new jobs "
+                "(resubmit after restart — dedup makes this idempotent)"
+            )
         kind = validate_spec(spec)
         self.counters["submitted"] += 1
         key = dedup_key_for(kind, spec, self.fingerprint if kind != "synthetic" else "")
@@ -192,7 +255,8 @@ class JobScheduler:
                 job = self._register(kind, spec, key)
                 job.cached = True
                 job.result = hit.as_dict()
-                job.advance(JobState.DONE)
+                self._journal_admit(job)
+                self._advance(job, JobState.DONE)
                 self._on_terminal(job, memoize=True)
                 self.counters["cached_disk"] += 1
                 return job, "cached"
@@ -205,6 +269,10 @@ class JobScheduler:
 
         job = self._register(kind, spec, key)
         self._active_by_key[key] = job.id
+        # Write-ahead: the admit record lands before the job is
+        # reachable by a worker, so an acked submission can never be
+        # lost to a crash.
+        self._journal_admit(job)
         self._push(job)
         return job, "new"
 
@@ -244,13 +312,211 @@ class JobScheduler:
         if job.state is JobState.QUEUED:
             # The heap entry is removed lazily by the next pop.
             self._queued_count -= 1
-            job.advance(JobState.CANCELLED)
+            self._advance(job, JobState.CANCELLED)
             self._on_terminal(job)
         elif job.state is JobState.RUNNING:
             task = self._inflight.get(job.id)
             if task is not None:
                 task.cancel()
         return job
+
+    # ----------------------------------------------------------- durability
+
+    def _journal_admit(self, job: Job) -> Optional[int]:
+        if self._journal is None:
+            return None
+        jseq = self._journal.append("admit", job={
+            "id": job.id,
+            "kind": job.kind,
+            "spec": job.spec,
+            "priority": job.priority,
+            "dedup_key": job.dedup_key,
+            "timeout": job.timeout,
+            "submitted_at": job.submitted_at,
+        })
+        self._maybe_compact()
+        return jseq
+
+    def _advance(
+        self, job: Job, state: JobState, error: Optional[str] = None
+    ) -> None:
+        """Journal one lifecycle edge (write-ahead), then take it.
+
+        The journal record for a terminal ``DONE`` embeds the result,
+        which is what lets recovery re-seed the dedup memo.  The
+        returned journal sequence number is stamped onto the emitted
+        ``state`` telemetry event as the durable stream cursor.
+
+        Compaction is deferred on terminal edges: between this edge
+        and ``_on_terminal`` the job is finished but not yet memoized,
+        and a compactor running in that window would mistake it for an
+        evicted terminal and erase it from the snapshot — losing the
+        job from the journal entirely.  ``_on_terminal`` triggers the
+        deferred compaction once the memo is consistent."""
+        jseq = None
+        if self._journal is not None:
+            fields: Dict[str, Any] = {
+                "id": job.id,
+                "state": state.value,
+                "attempts": job.attempts,
+            }
+            if error is not None:
+                fields["error"] = error
+            if state is JobState.DONE and job.result is not None:
+                fields["result"] = job.result
+            jseq = self._journal.append("state", **fields)
+        job.advance(state, error=error, jseq=jseq)
+        if not state.terminal:
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if self._journal is not None and self._journal.wants_compaction:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Snapshot every job worth recovering and truncate the tail.
+
+        Retained: all non-terminal jobs (they must resume) and every
+        memoized terminal job (they answer dedup hits).  Terminal jobs
+        already evicted from the memo add nothing to recovery and are
+        dropped from the snapshot."""
+        if self._journal is None:
+            return
+        rows = []
+        for job_id, job in self.jobs.items():
+            if job.state.terminal and job_id not in self._memo_jobs:
+                continue
+            rows.append(self._serialise(job))
+        self._journal.compact(rows)
+
+    def _serialise(self, job: Job) -> Dict[str, Any]:
+        edges = [
+            {
+                "jseq": e["jseq"],
+                "state": e["data"]["state"],
+                "attempts": e["data"]["attempts"],
+                "error": e["data"]["error"],
+            }
+            for e in job.events.since(0)
+            if e["type"] == "state" and "jseq" in e
+        ]
+        return {
+            "id": job.id,
+            "kind": job.kind,
+            "spec": job.spec,
+            "priority": job.priority,
+            "dedup_key": job.dedup_key,
+            "timeout": job.timeout,
+            "submitted_at": job.submitted_at,
+            "state": job.state.value,
+            "attempts": job.attempts,
+            "error": job.error,
+            "result": job.result if job.state is JobState.DONE else None,
+            "edges": edges,
+        }
+
+    def recover(self) -> Dict[str, int]:
+        """Replay the journal into the registry (idempotent).
+
+        Called automatically by :meth:`start`.  Terminal ``done`` jobs
+        re-seed the dedup memo; queued/running jobs are re-queued —
+        running ones lost their in-flight attempt to the crash and are
+        resumed from ``QUEUED`` with a fresh retry budget.  Exactly-
+        once guarantees come from dedup: a resumed job keeps its
+        original id and dedup key, so resubmissions coalesce onto it,
+        and a re-executed sweep stores to (or hits) the same disk
+        cache entry bit-identically."""
+        if self._journal is None:
+            return {"recovered": 0, "resumed": 0}
+        state = self._journal.recover()
+        self._journal.open(state.next_jseq)
+        recovered = resumed = 0
+        max_id = 0
+        for rec in state.jobs.values():
+            try:
+                max_id = max(max_id, int(rec.id.lstrip("j")))
+            except ValueError:
+                pass
+            if rec.id in self.jobs:
+                continue  # double replay of the same journal
+            job = Job(
+                id=rec.id,
+                kind=rec.kind,
+                spec=rec.spec,
+                priority=rec.priority,
+                dedup_key=rec.dedup_key,
+                submitted_at=rec.submitted_at,
+                attempts=rec.attempts,
+                retries_left=self.config.retry_limit,
+                timeout=rec.timeout,
+                recovered=True,
+            )
+            # Replay the journaled edges into the fresh buffer so a
+            # client's jseq cursor keeps working across the restart.
+            for edge in rec.edges:
+                job.events.emit("state", {
+                    "state": edge["state"],
+                    "attempts": edge.get("attempts", 0),
+                    "error": edge.get("error"),
+                }, jseq=edge["jseq"])
+            self.jobs[job.id] = job
+            recovered += 1
+            if rec.terminal:
+                job.state = JobState(rec.state)
+                job.error = rec.error
+                job.result = rec.result
+                job.events.close()
+                if job.state is JobState.DONE and job.result is not None:
+                    self._memo[job.dedup_key] = job.id
+                    self._memo_jobs.add(job.id)
+                else:
+                    self._finished.append(job.id)
+            else:
+                job.state = JobState.QUEUED
+                if rec.state == "running":
+                    # The crash interrupted this attempt; surface the
+                    # implicit park edge to any resuming stream.
+                    job.events.emit("state", {
+                        "state": "queued",
+                        "attempts": job.attempts,
+                        "error": None,
+                        "recovered": True,
+                    })
+                self._active_by_key[job.dedup_key] = job.id
+                self._push(job)
+                resumed += 1
+        while len(self._memo) > self.config.memo_capacity:
+            _, old_id = self._memo.popitem(last=False)
+            self._memo_jobs.discard(old_id)
+            self._finished.append(old_id)
+        if max_id:
+            self._ids = itertools.count(max_id + 1)
+        self.counters["recovered"] += recovered
+        self.counters["resumed"] += resumed
+        return {"recovered": recovered, "resumed": resumed}
+
+    async def drain(self, grace: Optional[float] = None) -> Dict[str, Any]:
+        """Graceful degradation: stop admitting, let running jobs
+        finish within ``grace`` seconds, park the rest as ``QUEUED``
+        in the journal, flush every telemetry stream's ``eos``
+        sentinel, and compact the journal for a fast restart."""
+        if self._draining:
+            return self.stats()
+        self._draining = True
+        self.drain_started_at = time.time()
+        grace = self.config.drain_grace if grace is None else grace
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + grace
+        while self._inflight and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        await self.stop()  # parks whatever is still running
+        for job in self.jobs.values():
+            if not job.events.closed:
+                job.events.close()
+        if self._journal is not None:
+            self._compact()
+            self._journal.close()
+        return self.stats()
 
     # ------------------------------------------------------------- lifecycle
 
@@ -268,6 +534,10 @@ class JobScheduler:
         if job.id not in self._memo_jobs:
             self._finished.append(job.id)
         self._gc()
+        # The compaction deferred by the terminal edge (see _advance):
+        # the memo now reflects this job, so a snapshot taken here
+        # cannot mistake a fresh result for an evicted one.
+        self._maybe_compact()
 
     def _gc(self) -> None:
         while len(self._finished) > self.config.retain_finished:
@@ -283,12 +553,17 @@ class JobScheduler:
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stopping = False
+        # Replay the write-ahead journal before any worker can run, so
+        # resumed jobs are admitted ahead of new traffic and recovery
+        # never races an execution.
+        self.recover()
         for idx in range(self.config.workers):
             self._workers.append(asyncio.create_task(self._worker(idx)))
 
     async def stop(self) -> None:
-        """Cancel workers (running jobs become CANCELLED) and release
-        the execution pools.  Queued jobs stay queued."""
+        """Cancel workers (running jobs are parked back to QUEUED —
+        journaled, so a restart resumes them) and release the
+        execution pools.  Queued jobs stay queued."""
         self._stopping = True
         if self._work_event is not None:
             evt, self._work_event = self._work_event, None
@@ -303,6 +578,9 @@ class JobScheduler:
         if self._threads is not None:
             self._threads.shutdown(wait=False, cancel_futures=True)
             self._threads = None
+        if self._journal is not None and not self._draining:
+            # Drain compacts and closes the journal itself.
+            self._journal.close()
 
     async def join(self, timeout: Optional[float] = None) -> bool:
         """Wait until the queue is empty and nothing is running."""
@@ -354,7 +632,7 @@ class JobScheduler:
 
     async def _execute(self, job: Job) -> None:
         job.attempts += 1
-        job.advance(JobState.RUNNING)
+        self._advance(job, JobState.RUNNING)
         self.counters["executed"] += 1
         job.events.emit("progress", {
             "phase": "dispatch",
@@ -370,12 +648,20 @@ class JobScheduler:
             self._fail_or_retry(job, f"timeout after {job.timeout:g}s", transient=True)
         except asyncio.CancelledError:
             if job.cancel_requested:
-                job.advance(JobState.CANCELLED)
+                self._advance(job, JobState.CANCELLED)
                 self._on_terminal(job)
             else:
-                # Scheduler shutdown cancelled the worker itself.
-                job.advance(JobState.CANCELLED, error="service shutdown")
-                self._on_terminal(job)
+                # Scheduler shutdown cancelled the worker itself: park
+                # the job back to QUEUED (journaled) so a restarted
+                # service resumes it instead of failing it.  It is not
+                # re-pushed — the workers are going away — but it
+                # keeps its dedup-key claim, so late duplicate
+                # submissions still coalesce onto it.
+                self.counters["parked"] += 1
+                job.events.emit("progress", {
+                    "phase": "parked", "attempts": job.attempts,
+                })
+                self._advance(job, JobState.QUEUED)
                 raise
         except Exception as exc:
             # Infrastructure failures (the worker crashed under the
@@ -385,14 +671,14 @@ class JobScheduler:
             self._fail_or_retry(job, f"{type(exc).__name__}: {exc}", transient=transient)
         else:
             if job.cancel_requested:
-                job.advance(JobState.CANCELLED)
+                self._advance(job, JobState.CANCELLED)
                 self._on_terminal(job)
             else:
                 job.result = result
                 metrics = result.get("metrics") if isinstance(result, dict) else None
                 if metrics:
                     job.events.emit("metrics", metrics)
-                job.advance(JobState.DONE)
+                self._advance(job, JobState.DONE)
                 self._on_terminal(job)
         finally:
             self._inflight.pop(job.id, None)
@@ -414,10 +700,10 @@ class JobScheduler:
                 "error": error,
                 "retries_left": job.retries_left,
             })
-            job.advance(JobState.QUEUED)
+            self._advance(job, JobState.QUEUED)
             self._push(job)
             return
-        job.advance(JobState.FAILED, error=error)
+        self._advance(job, JobState.FAILED, error=error)
         self._on_terminal(job)
 
     # ------------------------------------------------------------- dispatch
@@ -570,13 +856,61 @@ class JobScheduler:
     # ------------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, Any]:
+        dropped_events = truncated_chunks = 0
+        for job in self.jobs.values():
+            dropped_events += job.events.dropped
+            truncated_chunks += job.events.truncated_chunks
+        journal: Dict[str, Any] = {"enabled": self._journal is not None}
+        if self._journal is not None:
+            journal.update(self._journal.stats())
         return {
             "queue_depth": self._queued_count,
             "running": len(self._inflight),
             "workers": self.config.workers,
             "stopping": self._stopping,
+            "draining": self._draining,
+            "drain_started_at": self.drain_started_at,
             "jobs_registered": len(self.jobs),
             "memo_size": len(self._memo),
             "active_keys": len(self._active_by_key),
+            "dropped_events": dropped_events,
+            "truncated_chunks": truncated_chunks,
+            "admission": {
+                "max_queue": self.config.max_queue,
+                "rejected_full": self.counters["rejected"],
+                "rejected_draining": self.counters["rejected_draining"],
+            },
+            "journal": journal,
             "counters": dict(self.counters),
         }
+
+    def metrics_snapshot(self):
+        """The service's health as ``serve.*`` dotted keys in the
+        repo-wide :class:`~repro.obs.metrics.MetricsSnapshot` shape,
+        so service stats compose with engine/link/fault counters in
+        one registry."""
+        from repro.obs.metrics import MetricsSnapshot
+
+        stats = self.stats()
+        snap = MetricsSnapshot()
+        for key in (
+            "queue_depth", "running", "workers", "jobs_registered",
+            "memo_size", "active_keys", "dropped_events", "truncated_chunks",
+        ):
+            snap.put(f"serve.{key}", stats[key])
+        snap.put("serve.stopping", int(stats["stopping"]))
+        snap.put("serve.draining", int(stats["draining"]))
+        for key, value in stats["admission"].items():
+            snap.put(f"serve.admission.{key}", value)
+        journal = stats["journal"]
+        snap.put("serve.journal.enabled", int(journal["enabled"]))
+        if journal["enabled"]:
+            for key in ("jseq", "depth", "appended", "compactions"):
+                snap.put(f"serve.journal.{key}", journal[key])
+            snap.put(
+                "serve.journal.last_compaction_at",
+                journal["last_compaction_at"] or 0.0,
+            )
+        for key, value in stats["counters"].items():
+            snap.put(f"serve.counters.{key}", value)
+        return snap

@@ -6,16 +6,23 @@ loopback interface and talks to its own thin client.  Supported
 routes:
 
 ======  ===========================  =========================================
-GET     /healthz                     liveness probe
-GET     /stats                       scheduler counters + queue depth
+GET     /healthz                     liveness probe (200 while the process runs)
+GET     /readyz                      readiness: 200 accepting, 503 draining
+GET     /stats                       scheduler counters + queue/journal state
 POST    /jobs                        submit one spec -> job summary + dedup mode
 POST    /jobs/batch                  submit many specs in one round-trip
 GET     /jobs?state=&limit=          list job summaries
 GET     /jobs/<id>                   job detail (spec + result)
 POST    /jobs/<id>/cancel            cancel (immediate if queued)
 GET     /jobs/<id>/wait?timeout=     long-poll until terminal
-GET     /jobs/<id>/events?after=     NDJSON telemetry stream (replay + follow)
+GET     /jobs/<id>/events?after=     NDJSON telemetry stream (replay + follow;
+                                     &after_jseq= resumes from a journal cursor)
 ======  ===========================  =========================================
+
+Admission control is surfaced as HTTP status codes: a full queue
+answers ``429 Too Many Requests`` and a draining service ``503
+Service Unavailable``, both with a ``Retry-After`` header — clients
+back off and resubmit (dedup keys make resubmission idempotent).
 
 Plain endpoints are keep-alive with ``Content-Length`` framing; the
 ``/events`` stream writes one JSON object per line as telemetry
@@ -36,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import subprocess
 import sys
 import threading
@@ -43,7 +51,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.serve.jobs import SpecError
-from repro.serve.scheduler import JobScheduler, QueueFull, SchedulerConfig
+from repro.serve.scheduler import Draining, JobScheduler, QueueFull, SchedulerConfig
 
 #: Largest accepted request body (64 MiB covers ~200k-spec batches).
 MAX_BODY = 64 << 20
@@ -94,7 +102,15 @@ class ServeService:
                 except SpecError as exc:
                     await self._respond_json(writer, 400, {"error": str(exc)})
                 except QueueFull as exc:
-                    await self._respond_json(writer, 503, {"error": str(exc)})
+                    await self._respond_json(
+                        writer, 429, {"error": str(exc)},
+                        headers={"Retry-After": "1"},
+                    )
+                except Draining as exc:
+                    await self._respond_json(
+                        writer, 503, {"error": str(exc), "draining": True},
+                        headers={"Retry-After": "5"},
+                    )
                 except KeyError as exc:
                     await self._respond_json(
                         writer, 404, {"error": f"no such job {exc.args[0]!r}"}
@@ -142,15 +158,22 @@ class ServeService:
         return method, path, headers, body
 
     async def _respond_json(
-        self, writer: asyncio.StreamWriter, status: int, doc: Any
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: Any,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         payload = json.dumps(doc).encode()
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed", 503: "Service Unavailable"}.get(status, "")
+                  405: "Method Not Allowed", 429: "Too Many Requests",
+                  503: "Service Unavailable"}.get(status, "")
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             f"\r\n".encode() + payload
         )
         await writer.drain()
@@ -167,6 +190,19 @@ class ServeService:
 
         if method == "GET" and path == "/healthz":
             await self._respond_json(writer, 200, {"ok": True})
+            return None
+        if method == "GET" and path == "/readyz":
+            stats = sched.stats()
+            ready = not (stats["draining"] or stats["stopping"])
+            if ready:
+                await self._respond_json(writer, 200, {"ok": True})
+            else:
+                await self._respond_json(
+                    writer, 503,
+                    {"ok": False, "draining": stats["draining"],
+                     "stopping": stats["stopping"]},
+                    headers={"Retry-After": "5"},
+                )
             return None
         if method == "GET" and path == "/stats":
             await self._respond_json(writer, 200, sched.stats())
@@ -216,11 +252,15 @@ class ServeService:
                 await self._respond_json(writer, 200, job.detail())
                 return None
             if method == "GET" and action == "events":
-                await self._stream_events(writer, job, int(query.get("after", 0)))
+                await self._stream_events(
+                    writer, job,
+                    int(query.get("after", 0)),
+                    int(query.get("after_jseq", 0)),
+                )
                 return "stream"
 
         await self._respond_json(
-            writer, 405 if path in ("/jobs", "/stats", "/healthz") else 404,
+            writer, 405 if path in ("/jobs", "/stats", "/healthz", "/readyz") else 404,
             {"error": f"no route for {method} {path}"},
         )
         return None
@@ -238,7 +278,7 @@ class ServeService:
         return doc
 
     async def _stream_events(
-        self, writer: asyncio.StreamWriter, job, after: int
+        self, writer: asyncio.StreamWriter, job, after: int, after_jseq: int = 0
     ) -> None:
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -248,6 +288,12 @@ class ServeService:
         )
         await writer.drain()
         async for event in job.events.stream(after):
+            # A journal-sequence cursor filters replayed journaled
+            # edges the resuming client already consumed before the
+            # service restarted; live non-journaled events (progress,
+            # metrics, spans) always flow.
+            if after_jseq and event.get("jseq") and event["jseq"] <= after_jseq:
+                continue
             writer.write(json.dumps(event).encode() + b"\n")
             await writer.drain()
         # Explicit end-of-stream sentinel: forked process-pool workers
@@ -263,12 +309,24 @@ async def run_service(
     port: int = 0,
     announce=print,
     stop_event: Optional[asyncio.Event] = None,
+    drain_event: Optional[asyncio.Event] = None,
 ) -> Dict[str, Any]:
     """Run scheduler + server until ``stop_event`` (or forever).
+
+    ``drain_event`` (the CLI wires SIGTERM to it) triggers a graceful
+    drain first: admission stops (503 + ``Retry-After``), running jobs
+    get the configured grace window, the rest are journal-parked, and
+    every ``/events`` stream is flushed through its ``eos`` sentinel
+    — only then does the server close.  ``stop_event`` (SIGINT) skips
+    the grace window but still journal-parks running jobs.
 
     Returns the final scheduler stats once stopped.  ``announce`` is
     called once with the listening line (parsed by
     :func:`spawn_service_subprocess`).
+
+    Recovery note: ``scheduler.start()`` replays any write-ahead
+    journal *before* the socket starts listening, so clients never
+    observe a half-recovered registry.
     """
     scheduler = JobScheduler(config)
     await scheduler.start()
@@ -280,7 +338,16 @@ async def run_service(
     )
     if stop_event is None:
         stop_event = asyncio.Event()
-    await stop_event.wait()
+    waits = [asyncio.ensure_future(stop_event.wait())]
+    if drain_event is not None:
+        waits.append(asyncio.ensure_future(drain_event.wait()))
+    done, pending = await asyncio.wait(waits, return_when=asyncio.FIRST_COMPLETED)
+    for task in pending:
+        task.cancel()
+    if drain_event is not None and drain_event.is_set():
+        # Keep answering /readyz (503) and streaming eos sentinels
+        # while the scheduler winds down, then close the socket.
+        await scheduler.drain()
     await service.stop()
     await scheduler.stop()
     return scheduler.stats()
@@ -342,6 +409,15 @@ class ServiceThread:
         await scheduler.stop()
         self.final_stats = scheduler.stats()
 
+    def drain(self, grace: Optional[float] = None, timeout: float = 30.0) -> Dict[str, Any]:
+        """Drain the scheduler from any thread (the server keeps
+        answering — /readyz turns 503, submissions are rejected)."""
+        assert self._loop is not None and self.scheduler is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.scheduler.drain(grace), self._loop
+        )
+        return future.result(timeout)
+
     def stop(self, timeout: float = 10.0) -> Optional[Dict[str, Any]]:
         if self._loop is not None and self._stop_event is not None:
             self._loop.call_soon_threadsafe(self._stop_event.set)
@@ -358,10 +434,16 @@ def spawn_service_subprocess(
     The child binds an ephemeral port and announces it on stdout; this
     parses the announcement.  Callers terminate the child themselves
     (SIGINT/terminate) when done.
+
+    The child gets its own session (process group): its forked
+    process-pool workers inherit the listening socket, so an impolite
+    kill (SIGKILL chaos) must take out the whole group or the orphaned
+    workers hold the port — and the journal directory — hostage.
     """
     cmd = [sys.executable, "-m", "repro", "serve", "--port", "0"] + list(args or [])
     proc = subprocess.Popen(
-        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        start_new_session=os.name == "posix",
     )
     assert proc.stdout is not None
     deadline = threading.Event()

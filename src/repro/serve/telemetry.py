@@ -19,8 +19,18 @@ Design constraints:
 * **Bounded memory.**  At most ``maxlen`` events are retained; older
   ones are dropped oldest-first and counted in :attr:`dropped` (the
   same honesty contract as :class:`~repro.obs.spans.SpanTracer`).
+  Heavy ``spans`` chunks are additionally capped at ``chunk_maxlen``
+  retained payloads per job: beyond the cap the *oldest* chunk keeps
+  its envelope (so seq accounting stays contiguous) but its span list
+  is stripped, counted in :attr:`truncated_chunks` — a slow consumer
+  costs bounded memory, never unbounded heap growth.
 * **Clean termination.**  :meth:`close` wakes every follower; a
   closed, drained stream ends instead of blocking forever.
+* **Journal cursors.**  Events the scheduler also journaled carry the
+  journal sequence number (``jseq``) — globally monotonic and durable
+  across service restarts, unlike the per-buffer ``seq`` — which is
+  what ``ServeClient.stream_resume`` uses to resume a stream over a
+  restarted service without duplicates.
 """
 
 from __future__ import annotations
@@ -33,13 +43,20 @@ from typing import Any, AsyncIterator, Dict, List, Optional
 class EventBuffer:
     """Append-only, replayable, asyncio-followable event log."""
 
-    def __init__(self, maxlen: int = 4096):
+    #: Event types whose payloads count against ``chunk_maxlen``.
+    CHUNK_TYPES = ("spans",)
+
+    def __init__(self, maxlen: int = 4096, chunk_maxlen: int = 128):
         self._events: List[Dict[str, Any]] = []
         self._first_seq = 1  # seq of _events[0]
         self._seq = 0
         self._maxlen = maxlen
+        self._chunk_maxlen = chunk_maxlen
+        self._chunks_retained = 0
+        self._strip_cursor = 0  # index below which no strippable chunk lives
         self._closed = False
         self.dropped = 0
+        self.truncated_chunks = 0
         self._wakeup: Optional[asyncio.Event] = None
 
     def __len__(self) -> int:
@@ -62,19 +79,55 @@ class EventBuffer:
             self._wakeup = None
             w.set()
 
-    def emit(self, type_: str, data: Dict[str, Any]) -> None:
-        """Append one event.  Must run on the service event loop."""
+    def emit(
+        self, type_: str, data: Dict[str, Any], jseq: Optional[int] = None
+    ) -> None:
+        """Append one event.  Must run on the service event loop.
+
+        ``jseq`` is the journal sequence number when the scheduler
+        also journaled this event (state edges under a write-ahead
+        journal); it rides along in the event envelope as the durable
+        stream-resume cursor.
+        """
         if self._closed:
             return
         self._seq += 1
-        self._events.append(
-            {"seq": self._seq, "ts": time.time(), "type": type_, "data": data}
-        )
+        event = {"seq": self._seq, "ts": time.time(), "type": type_, "data": data}
+        if jseq is not None:
+            event["jseq"] = jseq
+        self._events.append(event)
+        if type_ in self.CHUNK_TYPES:
+            self._chunks_retained += 1
+            if self._chunks_retained > self._chunk_maxlen:
+                self._strip_oldest_chunk()
         if len(self._events) > self._maxlen:
+            head = self._events[0]
+            if head["type"] in self.CHUNK_TYPES and not head["data"].get("stripped"):
+                self._chunks_retained -= 1
             del self._events[0]
             self._first_seq += 1
+            self._strip_cursor = max(0, self._strip_cursor - 1)
             self.dropped += 1
         self._notify()
+
+    def _strip_oldest_chunk(self) -> None:
+        """Replace the oldest still-payloaded chunk event's span list
+        with a stub, keeping the envelope (and seq contiguity)."""
+        idx = self._strip_cursor
+        while idx < len(self._events):
+            evt = self._events[idx]
+            if evt["type"] in self.CHUNK_TYPES and not evt["data"].get("stripped"):
+                evt["data"] = {
+                    "stripped": True,
+                    "new": evt["data"].get("new"),
+                    "total": evt["data"].get("total"),
+                }
+                self._chunks_retained -= 1
+                self.truncated_chunks += 1
+                self._strip_cursor = idx + 1
+                return
+            idx += 1
+        self._strip_cursor = idx
 
     def close(self) -> None:
         self._closed = True

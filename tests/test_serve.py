@@ -1,7 +1,8 @@
 """Coverage for the ``repro serve`` subsystem: job lifecycle edges,
 dedup-key semantics, scheduler behaviour (coalescing, memo, cancel,
-timeout, bounded retry, priority), the HTTP wire surface, and the
-streamed-telemetry acceptance contract."""
+timeout, bounded retry, priority), the HTTP wire surface, the
+streamed-telemetry acceptance contract, and durability (write-ahead
+journal, restart recovery, graceful drain, stream resume)."""
 
 import asyncio
 import hashlib
@@ -29,7 +30,8 @@ from repro.serve.jobs import (
     dedup_key_for,
     validate_spec,
 )
-from repro.serve.scheduler import JobScheduler, QueueFull, SchedulerConfig
+from repro.serve.journal import JobJournal, JournalError
+from repro.serve.scheduler import Draining, JobScheduler, QueueFull, SchedulerConfig
 from repro.serve.server import ServiceThread
 from repro.serve.telemetry import EventBuffer
 
@@ -463,6 +465,294 @@ def test_event_buffer_stream_follows_live_emits():
         assert got == [0, 1, 2]
 
     run_async(body())
+
+
+# ----------------------------------------------- durability: journal layer
+
+
+def _admit_row(job_id="j1", key="k1"):
+    return {
+        "id": job_id, "kind": "synthetic", "spec": {"kind": "synthetic"},
+        "priority": 0, "dedup_key": key, "timeout": 5.0, "submitted_at": 1.0,
+    }
+
+
+def test_journal_roundtrip_and_replay_idempotence(tmp_path):
+    journal = JobJournal(tmp_path / "j")
+    assert journal.append("admit", job=_admit_row()) == 1
+    assert journal.append("state", id="j1", state="running", attempts=1) == 2
+    journal.append("state", id="j1", state="done", attempts=1, result={"digest": "d"})
+    journal.close()
+
+    first = JobJournal(tmp_path / "j").recover()
+    second = JobJournal(tmp_path / "j").recover()  # pure read: replay twice
+    assert [r.as_dict() for r in first.jobs.values()] == [
+        r.as_dict() for r in second.jobs.values()
+    ]
+    assert first.next_jseq == second.next_jseq == 4
+    rec = first.jobs["j1"]
+    assert rec.terminal and not rec.resumable
+    assert rec.state == "done" and rec.result == {"digest": "d"}
+    assert [(e["jseq"], e["state"]) for e in rec.edges] == [
+        (2, "running"), (3, "done")
+    ]
+
+
+def test_journal_orphan_state_record_is_a_hard_error(tmp_path):
+    journal = JobJournal(tmp_path / "j")
+    journal.append("state", id="ghost", state="running", attempts=1)
+    journal.close()
+    with pytest.raises(JournalError):
+        JobJournal(tmp_path / "j").recover()
+    with pytest.raises(JournalError):
+        journal.append("frobnicate")
+
+
+def test_journal_compaction_skips_tail_covered_by_snapshot(tmp_path):
+    journal = JobJournal(tmp_path / "j")
+    journal.append("admit", job=_admit_row())
+    journal.append("state", id="j1", state="running", attempts=1)
+    stale_tail = journal.tail_path.read_text()
+    folded = JobJournal(tmp_path / "j").recover()
+    journal.compact([r.as_dict() for r in folded.jobs.values()])
+    journal.close()
+    # Simulate a crash between snapshot-rename and tail-truncate: the
+    # old tail records are still there, all with jseq <= snapshot.jseq.
+    journal.tail_path.write_text(stale_tail)
+
+    state = JobJournal(tmp_path / "j").recover()
+    assert state.snapshot_jseq == 2 and state.snapshot_at is not None
+    rec = state.jobs["j1"]
+    assert rec.state == "running" and rec.attempts == 1
+    # Double-applying the tail would duplicate this edge.
+    assert [e["jseq"] for e in rec.edges] == [2]
+
+
+# -------------------------------------------- durability: scheduler layer
+
+
+def test_stop_parks_running_job_and_restart_resumes_exactly_once(tmp_path):
+    jdir = tmp_path / "journal"
+
+    async def first_generation():
+        sched = JobScheduler(SchedulerConfig(workers=1, journal_dir=jdir))
+        await sched.start()
+        running, _ = sched.submit({"kind": "synthetic", "key": "park-me", "sleep": 0.5})
+        queued, _ = sched.submit({"kind": "synthetic", "key": "later", "rounds": 2})
+        await asyncio.sleep(0.05)
+        assert running.state is JobState.RUNNING
+        await sched.stop()
+        # Shutdown parks the running job back to QUEUED (journaled);
+        # it must NOT be failed with CANCELLED "service shutdown".
+        assert running.state is JobState.QUEUED
+        assert sched.counters["parked"] == 1
+        assert sched.counters["cancelled"] == 0
+        return running.id, queued.id
+
+    running_id, queued_id = run_async(first_generation())
+
+    async def second_generation():
+        sched = JobScheduler(SchedulerConfig(workers=2, journal_dir=jdir))
+        await sched.start()  # replays the journal before workers run
+        try:
+            assert sched.counters["recovered"] == 2
+            assert sched.counters["resumed"] == 2
+            parked = sched.jobs[running_id]
+            assert parked.recovered
+            for job_id in (running_id, queued_id):
+                await wait_terminal(sched.jobs[job_id])
+                assert sched.jobs[job_id].state is JobState.DONE
+            # Exactly-once admission: resubmitting the journaled spec
+            # answers from the recovered job, same id, no re-execution.
+            again, mode = sched.submit({"kind": "synthetic", "key": "later", "rounds": 2})
+            assert mode == "cached" and again.id == queued_id
+            # The id counter resumes past recovered ids: no collisions.
+            fresh, _ = sched.submit({"kind": "synthetic", "key": "brand-new"})
+            assert int(fresh.id.lstrip("j")) > int(queued_id.lstrip("j"))
+            await wait_terminal(fresh)
+            # Replaying the same journal again is suppressed by id.
+            assert sched.recover() == {"recovered": 0, "resumed": 0}
+            assert sched.counters["recovered"] == 2
+        finally:
+            await sched.stop()
+
+    run_async(second_generation())
+
+
+def test_compaction_on_terminal_edge_keeps_fresh_result(tmp_path):
+    """Regression: the compaction threshold tripping exactly on a
+    terminal edge must not erase the job.  Between the journaled DONE
+    edge and ``_on_terminal`` the job is finished but not yet
+    memoized; a compaction in that window used to drop it from the
+    snapshot (terminal, not memoized => treated as evicted)."""
+    jdir = tmp_path / "journal"
+
+    async def body():
+        # compact_every=3: admit(1) + running(2) + done(3) trips the
+        # threshold on the DONE append itself.
+        sched = JobScheduler(SchedulerConfig(
+            workers=1, journal_dir=jdir, journal_compact_every=3,
+        ))
+        await sched.start()
+        job, _ = sched.submit({"kind": "synthetic", "key": "fresh", "rounds": 2})
+        await wait_terminal(job)
+        assert job.state is JobState.DONE
+        assert sched._journal.compactions == 1
+        await sched.stop()
+        return job.id, job.result
+
+    job_id, result = run_async(body())
+    state = JobJournal(jdir).recover()
+    rec = state.jobs[job_id]  # KeyError here == the race regressed
+    assert rec.state == "done"
+    assert rec.result is not None and rec.result["digest"] == result["digest"]
+
+
+def test_drain_parks_rejects_and_compacts(tmp_path):
+    async def body():
+        sched = JobScheduler(SchedulerConfig(
+            workers=1, journal_dir=tmp_path / "j", drain_grace=0.05,
+        ))
+        await sched.start()
+        job, _ = sched.submit({"kind": "synthetic", "key": "d", "sleep": 30})
+        await asyncio.sleep(0.05)
+        assert job.state is JobState.RUNNING
+        stats = await sched.drain()
+        assert stats["draining"] is True
+        assert stats["drain_started_at"] is not None
+        assert stats["journal"]["compactions"] >= 1
+        assert job.state is JobState.QUEUED  # parked inside the grace window
+        assert job.events.closed  # eos flushed to any follower
+        with pytest.raises(Draining):
+            sched.submit({"kind": "synthetic", "key": "too-late"})
+        assert sched.counters["rejected_draining"] == 1
+
+    run_async(body())
+
+
+def test_stats_and_metrics_snapshot_cover_durability(tmp_path):
+    async def body():
+        sched = JobScheduler(SchedulerConfig(
+            workers=1, journal_dir=tmp_path / "j", journal_compact_every=3,
+        ))
+        await sched.start()
+        job, _ = sched.submit({"kind": "synthetic", "key": "s"})
+        await wait_terminal(job)
+        stats = sched.stats()
+        assert stats["journal"]["enabled"] is True
+        assert stats["journal"]["appended"] == 3
+        assert stats["journal"]["depth"] == 0  # compacted on the DONE edge
+        assert stats["journal"]["compactions"] == 1
+        assert stats["journal"]["last_compaction_at"] is not None
+        assert stats["admission"]["max_queue"] == sched.config.max_queue
+        assert stats["admission"]["rejected_full"] == 0
+        snap = sched.metrics_snapshot()
+        assert snap.get("serve.journal.enabled") == 1
+        assert snap.get("serve.journal.compactions") == 1
+        assert snap.get("serve.counters.done") == 1
+        assert snap.get("serve.draining") == 0
+        assert snap.get("serve.admission.max_queue") == sched.config.max_queue
+        await sched.stop()
+
+    run_async(body())
+    # Journal off: the stats surface says so and the snapshot skips
+    # the journal gauges rather than inventing zeros.
+    bare = JobScheduler(SchedulerConfig())
+    assert bare.stats()["journal"] == {"enabled": False}
+    snap = bare.metrics_snapshot()
+    assert snap.get("serve.journal.enabled") == 0
+    assert snap.get("serve.journal.depth") is None
+
+
+# ------------------------------------------------- durability: HTTP layer
+
+
+def test_http_drain_turns_readyz_503_and_rejects_submissions(tmp_path):
+    thread = ServiceThread(SchedulerConfig(workers=1, cache_dir=tmp_path))
+    url = thread.start()
+    client = ServeClient(url, timeout=10.0, retries=0)
+    try:
+        assert client.healthz()
+        assert client._request("GET", "/readyz")["ok"] is True
+        thread.drain(grace=0.0)
+        with pytest.raises(ServeError) as err:
+            client.submit({"kind": "synthetic", "key": "too-late"})
+        assert err.value.status == 503
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/readyz")
+        assert err.value.status == 503
+        assert client.healthz()  # liveness stays green while draining
+    finally:
+        client.close()
+        thread.stop()
+
+
+def test_http_queue_full_answers_429(tmp_path):
+    thread = ServiceThread(SchedulerConfig(workers=1, max_queue=1, cache_dir=tmp_path))
+    url = thread.start()
+    client = ServeClient(url, timeout=10.0, retries=0)
+    try:
+        client.submit({"kind": "synthetic", "key": "b1", "sleep": 30})
+        deadline = 50
+        while client.stats()["running"] != 1 and deadline:
+            deadline -= 1
+        client.submit({"kind": "synthetic", "key": "b2", "sleep": 30})
+        with pytest.raises(ServeError) as err:
+            client.submit({"kind": "synthetic", "key": "b3"})
+        assert err.value.status == 429
+        assert client.stats()["admission"]["rejected_full"] == 1
+    finally:
+        client.close()
+        thread.stop()
+
+
+def test_client_stream_resume_across_restart(tmp_path):
+    jdir = tmp_path / "journal"
+    config = dict(workers=1, journal_dir=jdir, cache_dir=tmp_path / "cache")
+    thread = ServiceThread(SchedulerConfig(**config))
+    client = ServeClient(thread.start(), timeout=10.0)
+    ack = client.submit({"kind": "synthetic", "key": "resume-me", "rounds": 2})
+    job_id = ack["job"]["id"]
+    client.wait(job_id, timeout=30)
+    edges = [e for e in client.stream(job_id) if e["type"] == "state" and "jseq" in e]
+    assert [e["data"]["state"] for e in edges] == ["running", "done"]
+    cursor = edges[0]["jseq"]  # client consumed up to the running edge
+    client.close()
+    thread.stop()
+
+    thread2 = ServiceThread(SchedulerConfig(**config))
+    client2 = ServeClient(thread2.start(), timeout=10.0)
+    try:
+        assert client2.stats()["counters"]["recovered"] == 1
+        resumed = list(client2.stream_resume(job_id, after_jseq=cursor))
+        jseqs = [e["jseq"] for e in resumed if "jseq" in e]
+        assert jseqs and all(j > cursor for j in jseqs)
+        assert len(jseqs) == len(set(jseqs))  # exactly once, no repeats
+        states = [e["data"]["state"] for e in resumed if e["type"] == "state"]
+        assert states == ["done"]
+    finally:
+        client2.close()
+        thread2.stop()
+
+
+def test_event_buffer_caps_span_chunk_payloads():
+    buf = EventBuffer(maxlen=100, chunk_maxlen=2)
+    for i in range(4):
+        buf.emit("spans", {
+            "new": 1, "total": i + 1, "final": False,
+            "spans": [{"name": f"s{i}"}],
+        })
+    assert buf.truncated_chunks == 2
+    events = buf.since(0)
+    # Oldest chunks lose their payload but keep the envelope: seq
+    # stays contiguous and the counts survive for accounting.
+    assert [e["seq"] for e in events] == [1, 2, 3, 4]
+    assert [bool(e["data"].get("stripped")) for e in events] == [
+        True, True, False, False
+    ]
+    assert events[0]["data"]["total"] == 1
+    assert "spans" not in events[0]["data"]
+    assert events[3]["data"]["spans"] == [{"name": "s3"}]
 
 
 # -------------------------------------------------------- artifact helpers
