@@ -4,7 +4,8 @@ oracle battery and write a JSON report CI can archive.
 
 Usage:
     PYTHONPATH=src python benchmarks/check_smoke.py \
-        [--seeds 40] [--fault-seeds 10] [--ops 12] [--output check_smoke.json]
+        [--seeds 40] [--fault-seeds 10] [--msg-seeds 30] \
+        [--msg-fault-seeds 10] [--ops 12] [--output check_smoke.json]
 
 Each seed runs the complete ``repro.check`` battery (fast-path, event,
 and traced executions; nine oracles).  The report records per-seed
@@ -33,13 +34,14 @@ from repro.check.shrink import to_cli_command  # noqa: E402
 from repro.reporting.artifacts import artifact_doc, write_json_artifact  # noqa: E402
 
 
-def run_seed(seed: int, ops: int, faults: bool) -> dict:
-    w = generate_workload(seed, ops=ops, faults=faults)
+def run_seed(seed: int, ops: int, faults: bool, msg: bool = False) -> dict:
+    w = generate_workload(seed, ops=ops, faults=faults, msg=msg)
     t0 = time.perf_counter()
     report = check_workload(w)
     return {
         "seed": seed,
         "faults": faults,
+        "msg": msg,
         "design": w.design,
         "nodes": w.nodes,
         "pes_per_node": w.pes_per_node,
@@ -55,28 +57,35 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--seeds", type=int, default=40, help="fault-free seed count")
     ap.add_argument("--fault-seeds", type=int, default=10, help="faulted seed count")
+    ap.add_argument("--msg-seeds", type=int, default=30,
+                    help="fault-free seeds with two-sided rounds mixed in")
+    ap.add_argument("--msg-fault-seeds", type=int, default=10,
+                    help="faulted seeds with two-sided rounds mixed in")
     ap.add_argument("--ops", type=int, default=12, help="ops per workload")
     ap.add_argument("--output", default="check_smoke.json")
     args = ap.parse_args(argv)
 
     rows, failed = [], None
     t0 = time.perf_counter()
-    plan = [(s, False) for s in range(args.seeds)]
-    plan += [(10_000 + s, True) for s in range(args.fault_seeds)]
-    for seed, faults in plan:
-        row = run_seed(seed, args.ops, faults)
+    plan = [(s, False, False) for s in range(args.seeds)]
+    plan += [(10_000 + s, True, False) for s in range(args.fault_seeds)]
+    plan += [(20_000 + s, False, True) for s in range(args.msg_seeds)]
+    plan += [(30_000 + s, True, True) for s in range(args.msg_fault_seeds)]
+    for seed, faults, msg in plan:
+        row = run_seed(seed, args.ops, faults, msg)
         rows.append(row)
         if not row["passed"]:
-            failed = (seed, faults)
-            print(f"seed {seed}{' (faults)' if faults else ''}: FAIL")
+            failed = (seed, faults, msg)
+            flags = ("(faults)" if faults else "") + ("(msg)" if msg else "")
+            print(f"seed {seed}{' ' + flags if flags else ''}: FAIL")
             for line in row["violations"]:
                 print(f"  {line}")
             break
 
     repro = None
     if failed is not None:
-        seed, faults = failed
-        w = generate_workload(seed, ops=args.ops, faults=faults)
+        seed, faults, msg = failed
+        w = generate_workload(seed, ops=args.ops, faults=faults, msg=msg)
         small, evals = shrink_workload(w)
         repro = {
             "command": to_cli_command(small),

@@ -51,8 +51,13 @@ TIER1_BASELINE_SECONDS = 20.6
 #: perf-smoke baseline.
 SMOKE_TARGETS = [
     "table2", "fig6b", "fig8b", "fig8d", "fig9b", "fig10",
-    "fig6a4", "fig8a4", "fig8b4",
+    "fig6a4", "fig8a4", "fig8b4", "xover1", "xover2",
 ]
+
+#: Default eager/rendezvous thresholds swept by ``--crossover``.
+CROSSOVER_THRESHOLDS = "0,2048,8192,32768,262144"
+#: Default transports compared by the message-rate half of the study.
+CROSSOVER_TRANSPORTS = "rc,ud"
 
 
 #: Golden Fig 8 enhanced-gdr D-D put end time (tests/test_fastpath.py).
@@ -159,6 +164,34 @@ def run_via_service(targets, quick, profile, url, verbose=False):
     return report
 
 
+def crossover_study(thresholds_csv: str, transports_csv: str, out_path, quick: bool) -> dict:
+    """Run the eager/rendezvous + RC/UD crossover study and archive it.
+
+    The protocol tunables arrive as CSV strings straight from the CLI
+    so the bench runner can sweep them (``--msg-thresholds 0,4096,...``
+    ``--msg-transports rc,ud``).  The curves land in a standalone JSON
+    artifact (default ``benchmarks/results/crossover_curves.json``) and
+    a summary is folded into the main report.
+    """
+    from repro.bench.crossover import crossover_report
+    from repro.reporting.experiments import (
+        XOVER_LATENCY_QUICK, XOVER_LATENCY_SIZES,
+        XOVER_RATE_QUICK, XOVER_RATE_SIZES,
+    )
+
+    thresholds = [int(t) for t in thresholds_csv.split(",") if t != ""]
+    transports = [t.strip() for t in transports_csv.split(",") if t.strip()]
+    doc = crossover_report(
+        thresholds=thresholds,
+        transports=transports,
+        latency_sizes=XOVER_LATENCY_QUICK if quick else XOVER_LATENCY_SIZES,
+        rate_sizes=XOVER_RATE_QUICK if quick else XOVER_RATE_SIZES,
+    )
+    write_json_artifact(str(out_path), doc)
+    doc["artifact"] = str(out_path)
+    return doc
+
+
 def time_tier1() -> float:
     t0 = time.perf_counter()
     proc = subprocess.run(
@@ -198,6 +231,18 @@ def main(argv=None) -> int:
     ap.add_argument("--serve", metavar="URL", default=None,
                     help="run the sweep through a 'repro serve' service at URL "
                          "instead of an in-process pool (bit-identical records)")
+    ap.add_argument("--crossover", action="store_true",
+                    help="also run the eager/rendezvous + RC/UD crossover "
+                         "study (implied by --smoke, quick sizes there)")
+    ap.add_argument("--msg-thresholds", default=CROSSOVER_THRESHOLDS,
+                    help="CSV of msg_eager_threshold values the crossover "
+                         f"study sweeps (default: {CROSSOVER_THRESHOLDS})")
+    ap.add_argument("--msg-transports", default=CROSSOVER_TRANSPORTS,
+                    help="CSV of transports for the message-rate curves "
+                         f"(default: {CROSSOVER_TRANSPORTS})")
+    ap.add_argument("--crossover-out",
+                    default=str(REPO / "benchmarks" / "results" / "crossover_curves.json"),
+                    help="where the crossover curves artifact is written")
     args = ap.parse_args(argv)
     if args.output is None:
         args.output = str(REPO / ("BENCH_PR2.json" if args.faults else "BENCH_PR1.json"))
@@ -228,6 +273,12 @@ def main(argv=None) -> int:
 
     if args.faults == "off":
         doc["faults_off_baseline"] = faults_off_baseline()
+
+    if args.crossover or args.smoke:
+        doc["crossover"] = crossover_study(
+            args.msg_thresholds, args.msg_transports,
+            args.crossover_out, quick=args.smoke,
+        )
 
     if not (args.no_tier1 or args.smoke):
         tier1 = time_tier1()
@@ -261,6 +312,17 @@ def main(argv=None) -> int:
                   f"{tiers['contended_windows']:>8} "
                   f"{tiers['collective_closed_forms']:>8} "
                   f"{tiers['vectorised_events']:>8}")
+    if "crossover" in doc:
+        xo = doc["crossover"]
+        er, rate = xo["eager_rendezvous"], xo["rc_ud_rate"]
+        gaps = rate.get("ud_over_rc") or []
+        print(
+            f"crossover: eager/rendezvous at {er['crossover_bytes']} B "
+            f"(default threshold {er['default_threshold']} B); "
+            f"UD/RC message-rate ratio "
+            f"{max(gaps):.2f}x small -> {min(gaps):.2f}x large; "
+            f"curves: {xo['artifact']}"
+        )
     if "faults_off_baseline" in doc:
         fb = doc["faults_off_baseline"]
         print(

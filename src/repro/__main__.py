@@ -96,6 +96,7 @@ def _check_via_service(args) -> int:
             "seed": seed,
             "ops": args.ops,
             "faults": args.faults,
+            "msg": args.msg,
             "design": args.design,
             "nodes": args.nodes,
             "pes_per_node": args.pes_per_node,
@@ -123,7 +124,8 @@ def _check_via_service(args) -> int:
                 for violation in result["violations"]:
                     print(f"  {violation}")
                 print(f"reproduce locally with: python -m repro check --seed {seed} "
-                      f"--ops {args.ops}" + (" --faults" if args.faults else ""))
+                      f"--ops {args.ops}" + (" --faults" if args.faults else "")
+                      + (" --msg" if args.msg else ""))
             elif not args.quiet:
                 tag = "cached" if detail.get("cached") else (
                     f"{result.get('wall_seconds', 0.0):.2f}s"

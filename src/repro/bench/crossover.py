@@ -1,0 +1,223 @@
+"""Protocol-crossover studies: eager/rendezvous and RC/UD (Figs 6-9 style).
+
+Two sweeps over the two-sided msg layer (:mod:`repro.msg`):
+
+* :func:`msg_latency_sweep` — ping-pong half-round-trip latency per
+  message size, with the eager/rendezvous threshold forceable so the
+  two protocols can be curve-fitted independently and their crossover
+  located (:func:`find_crossover`).
+* :func:`message_rate_sweep` — a window of back-to-back sends measured
+  at the receiver, RC vs UD, exposing the per-message posting-cost gap
+  at small sizes and the segmentation penalty at large ones.
+
+:func:`crossover_report` packages both into the JSON artifact
+``benchmarks/run_all.py --crossover`` writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.shmem import Domain, ShmemJob
+from repro.units import to_usec
+
+#: Messages per measured burst in :func:`message_rate_sweep`.
+RATE_WINDOW = 16
+
+
+@dataclass
+class CrossoverPoint:
+    """One point of a two-sided latency curve (half round-trip)."""
+
+    nbytes: int
+    usec: float
+
+    def row(self) -> List[str]:
+        return [str(self.nbytes), f"{self.usec:.2f}"]
+
+
+@dataclass
+class RatePoint:
+    """One point of a message-rate curve."""
+
+    nbytes: int
+    msgs_per_sec: float
+
+    def row(self) -> List[str]:
+        return [str(self.nbytes), f"{self.msgs_per_sec:.0f}"]
+
+
+def _alloc(ctx, domain: Domain, cap: int):
+    return ctx.cuda.malloc(cap) if domain is Domain.GPU else ctx.cuda.malloc_host(cap)
+
+
+def _pingpong_program(sizes: Sequence[int], domain: Domain, transport: Optional[str]):
+    def main(ctx):
+        cap = max(sizes)
+        sbuf = _alloc(ctx, domain, cap)
+        rbuf = _alloc(ctx, domain, cap)
+        points = []
+        for nbytes in sizes:
+            yield from ctx.barrier_all()
+            if ctx.pe == 0:
+                # warmup (bounce pools, MR cache), then the measured pingpong
+                for measured in (False, True):
+                    t0 = ctx.now
+                    yield from ctx.send(sbuf, nbytes, 1, transport=transport)
+                    yield from ctx.recv(rbuf, nbytes, src=1)
+                    if measured:
+                        points.append(
+                            CrossoverPoint(nbytes, to_usec((ctx.now - t0) / 2))
+                        )
+            elif ctx.pe == 1:
+                for _ in (0, 1):
+                    yield from ctx.recv(rbuf, nbytes, src=0)
+                    yield from ctx.send(sbuf, nbytes, 0, transport=transport)
+            yield from ctx.barrier_all()
+        return points
+
+    return main
+
+
+def _rate_program(sizes: Sequence[int], transport: Optional[str], window: int):
+    def main(ctx):
+        cap = max(sizes)
+        sbuf = _alloc(ctx, Domain.HOST, cap)
+        rbuf = _alloc(ctx, Domain.HOST, cap * window)
+        points = []
+        for nbytes in sizes:
+            yield from ctx.barrier_all()
+            if ctx.pe == 0:
+                evs = [
+                    ctx.isend(sbuf, nbytes, 1, transport=transport)
+                    for _ in range(window)
+                ]
+                yield ctx.sim.all_of(evs)
+            elif ctx.pe == 1:
+                t0 = ctx.now
+                evs = [
+                    ctx.irecv(rbuf + i * nbytes, nbytes, src=0)
+                    for i in range(window)
+                ]
+                yield ctx.sim.all_of(evs)
+                points.append(RatePoint(nbytes, window / (ctx.now - t0)))
+            yield from ctx.barrier_all()
+        return points
+
+    return main
+
+
+def _msg_job(threshold: Optional[int], params=None, heap: int = 0) -> ShmemJob:
+    from repro.hardware.params import wilkes_params
+
+    base = params or wilkes_params()
+    if threshold is not None:
+        base = base.tuned(msg_eager_threshold=threshold)
+    return ShmemJob(
+        nodes=2,
+        pes_per_node=1,
+        design="enhanced-gdr",
+        params=base,
+        host_heap_size=max(heap, 32 << 20),
+        gpu_heap_size=max(heap, 32 << 20),
+    )
+
+
+def msg_latency_sweep(
+    sizes: Sequence[int],
+    *,
+    threshold: Optional[int] = None,
+    transport: str = "rc",
+    domain: Domain = Domain.HOST,
+    params=None,
+) -> List[CrossoverPoint]:
+    """Two-sided ping-pong latency per size (half round-trip, µs).
+
+    ``threshold`` overrides ``msg_eager_threshold`` — pass ``0`` to
+    force rendezvous everywhere, or ``params.pipeline_chunk`` to force
+    eager as far as the bounce slots allow.
+    """
+    job = _msg_job(threshold, params)
+    res = job.run(
+        _pingpong_program(list(sizes), domain, None if transport == "rc" else transport)
+    )
+    return res.results[0]
+
+
+def message_rate_sweep(
+    sizes: Sequence[int],
+    *,
+    transport: str = "rc",
+    window: int = RATE_WINDOW,
+    threshold: Optional[int] = None,
+    params=None,
+) -> List[RatePoint]:
+    """Messages/second at the receiver for a burst of ``window`` sends."""
+    job = _msg_job(threshold, params, heap=max(sizes) * (window + 1))
+    res = job.run(
+        _rate_program(list(sizes), None if transport == "rc" else transport, window)
+    )
+    return res.results[1]
+
+
+def find_crossover(
+    sizes: Sequence[int],
+    eager_usec: Sequence[float],
+    rendezvous_usec: Sequence[float],
+) -> Optional[int]:
+    """First size where rendezvous beats eager (None if it never does)."""
+    for nbytes, e, r in zip(sizes, eager_usec, rendezvous_usec):
+        if r < e:
+            return nbytes
+    return None
+
+
+def crossover_report(
+    *,
+    thresholds: Sequence[int],
+    transports: Sequence[str],
+    latency_sizes: Sequence[int],
+    rate_sizes: Sequence[int],
+    params=None,
+) -> Dict:
+    """The full study: threshold sweep + forced-protocol curves + RC/UD
+    message rates, as one JSON-ready document."""
+    from repro.hardware.params import wilkes_params
+
+    base = params or wilkes_params()
+    latency_sizes = list(latency_sizes)
+    rate_sizes = list(rate_sizes)
+
+    forced: Dict[str, List[float]] = {}
+    for name, thr in (("eager", base.pipeline_chunk), ("rendezvous", 0)):
+        pts = msg_latency_sweep(latency_sizes, threshold=thr, params=base)
+        forced[name] = [p.usec for p in pts]
+    threshold_curves: Dict[str, List[float]] = {}
+    for thr in thresholds:
+        pts = msg_latency_sweep(latency_sizes, threshold=thr, params=base)
+        threshold_curves[str(thr)] = [p.usec for p in pts]
+    rates: Dict[str, List[float]] = {}
+    for transport in transports:
+        pts = message_rate_sweep(rate_sizes, transport=transport, params=base)
+        rates[transport] = [p.msgs_per_sec for p in pts]
+
+    crossover = find_crossover(latency_sizes, forced["eager"], forced["rendezvous"])
+    rate_gap = None
+    if "rc" in rates and "ud" in rates:
+        rate_gap = [u / r if r else 0.0 for r, u in zip(rates["rc"], rates["ud"])]
+    return {
+        "eager_rendezvous": {
+            "sizes": latency_sizes,
+            "forced_usec": forced,
+            "threshold_usec": threshold_curves,
+            "default_threshold": base.msg_eager_threshold,
+            "crossover_bytes": crossover,
+        },
+        "rc_ud_rate": {
+            "sizes": rate_sizes,
+            "window": RATE_WINDOW,
+            "msgs_per_sec": rates,
+            "ud_over_rc": rate_gap,
+        },
+    }

@@ -35,6 +35,8 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.A
     p.add_argument("--seed-start", type=int, default=0)
     p.add_argument("--ops", type=int, default=14, help="target op count per workload")
     p.add_argument("--faults", action="store_true", help="arm the seeded fault plan")
+    p.add_argument("--msg", action="store_true",
+                   help="mix in two-sided send/recv rounds (eager/rendezvous, RC/UD)")
     p.add_argument("--design", choices=list(design_names()),
                    default=None, help="pin the runtime design (default: seeded draw)")
     p.add_argument("--nodes", type=int, default=None)
@@ -103,6 +105,7 @@ def main(argv=None, parsed=None) -> int:
             max_nbytes=args.max_bytes,
             nodes=args.nodes,
             pes_per_node=args.pes_per_node,
+            msg=args.msg,
         )
         report = check_workload(w, corrupt_uid=args.corrupt_uid)
         checked += 1

@@ -5,8 +5,8 @@ under test — batched fast path, forced event-accurate path, and traced
 event path — and applies every oracle:
 
 1. **heap-matches-reference** — final symmetric-heap bytes, fetched
-   get results and atomic return values equal the untimed reference
-   executor's, in every mode.
+   get results, atomic return values and two-sided recv envelopes
+   equal the untimed reference executor's, in every mode.
 2. **event/fast bit-identity** — exact float equality of end times,
    per-op probe samples, protocol counts and per-link byte counters
    between the fast-path and event-path runs (the property the
@@ -38,7 +38,7 @@ from repro.check.workload import Workload
 #: Snapshot sections that must be bit-identical across execution modes.
 #: ``engine.*`` is excluded on purpose (fastpath_batches etc. *should*
 #: differ between modes); ``spans.*`` exists only on traced runs.
-_IDENTITY_SECTIONS = ("job", "link", "probe", "protocol", "health", "faults")
+_IDENTITY_SECTIONS = ("job", "link", "probe", "protocol", "msg", "health", "faults")
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,14 @@ def oracle_heap_matches_reference(
                 report, "heap",
                 f"{obs.mode}: atomic op #{uid} returned {actual}, want {expected}",
             )
+    for uid, expected in sorted(ref.msgs.items()):
+        actual = obs.msgs.get(uid)
+        if actual != expected:
+            _fail(
+                report, "heap",
+                f"{obs.mode}: recv op #{uid} matched envelope {actual}, "
+                f"want {expected} (source, tag)",
+            )
 
 
 def oracle_atomic_conservation(
@@ -170,6 +178,9 @@ def oracle_bit_identity(
                 report, oracle,
                 f"snapshot section {section!r} diverges at {sorted(keys)[:6]}",
             )
+    if a.msgs != b.msgs:
+        diff = sorted(uid for uid in set(a.msgs) | set(b.msgs) if a.msgs.get(uid) != b.msgs.get(uid))
+        _fail(report, oracle, f"recv envelopes diverge between modes: ops {diff[:6]}")
     if a.heaps != b.heaps:
         cells = [f"pe{pe}/{name}" for (pe, name) in a.heaps if a.heaps[pe, name] != b.heaps.get((pe, name))]
         _fail(report, oracle, f"final heap bytes diverge between modes: {cells[:6]}")
@@ -247,22 +258,39 @@ def check_workload(
     cheap when the failure is mode-independent)."""
     report = CheckReport(workload=w)
     ref = execute_reference(w)
-    base = run_workload(w, corrupt_uid=corrupt_uid)
-    report.runs["fast"] = base
-    oracle_heap_matches_reference(report, ref, base)
-    oracle_atomic_conservation(report, ref, base)
-    oracle_link_conservation(report, base)
+
+    def attempt(mode: str, **kw) -> Optional[RunObservation]:
+        # A run that dies mid-workload (truncation, retry exhaustion,
+        # a runtime assertion) is a first-class finding — record it as
+        # a violation so the sweep and the shrinker treat it like any
+        # other failure instead of crashing the harness.
+        try:
+            return run_workload(w, corrupt_uid=corrupt_uid, **kw)
+        except Exception as exc:
+            _fail(report, "run", f"{mode}: {type(exc).__name__}: {exc}")
+            return None
+
+    base = attempt("fast")
+    if base is not None:
+        report.runs["fast"] = base
+        oracle_heap_matches_reference(report, ref, base)
+        oracle_atomic_conservation(report, ref, base)
+        oracle_link_conservation(report, base)
     report.oracles_run += 3
     if modes:
-        event = run_workload(w, fastpath=False, corrupt_uid=corrupt_uid)
-        traced = run_workload(w, trace=True, corrupt_uid=corrupt_uid)
-        report.runs["event"] = event
-        report.runs["traced"] = traced
-        oracle_heap_matches_reference(report, ref, event)
-        oracle_heap_matches_reference(report, ref, traced)
-        oracle_atomic_conservation(report, ref, event)
-        oracle_bit_identity(report, base, event, "fast-vs-event")
-        oracle_bit_identity(report, base, traced, "traced-vs-untraced")
-        oracle_span_event_parity(report, traced)
+        event = attempt("event", fastpath=False)
+        traced = attempt("traced", trace=True)
+        if event is not None:
+            report.runs["event"] = event
+            oracle_heap_matches_reference(report, ref, event)
+            oracle_atomic_conservation(report, ref, event)
+            if base is not None:
+                oracle_bit_identity(report, base, event, "fast-vs-event")
+        if traced is not None:
+            report.runs["traced"] = traced
+            oracle_heap_matches_reference(report, ref, traced)
+            if base is not None:
+                oracle_bit_identity(report, base, traced, "traced-vs-untraced")
+            oracle_span_event_parity(report, traced)
         report.oracles_run += 6
     return report

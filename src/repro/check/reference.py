@@ -59,6 +59,10 @@ class ReferenceResult:
     atomics: Dict[int, int] = field(default_factory=dict)
     #: ``(pe, word index) -> final value`` of every touched atoms word.
     atom_words: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: ``op uid -> (source pe, tag)`` envelope every two-sided receive
+    #: must report.  One receiver per msg round means matching is
+    #: unambiguous even under wildcards, so this is exact.
+    msgs: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
 
 class _State:
@@ -150,6 +154,14 @@ def _apply_collective(st: _State, w: Workload, op: WOp, out: ReferenceResult) ->
         raise ValueError(f"unknown collective {op.kind!r}")
 
 
+def _apply_msg_round(st: _State, w: Workload, rnd, out: ReferenceResult) -> None:
+    # Matched send/recv pairs; the payload lands in the receiver's cell
+    # regardless of protocol (eager/rendezvous) or transport (RC/UD).
+    for op in rnd:
+        st.write(op.target, op.buf, op.offset, payload(w.seed, op.uid, op.nbytes))
+        out.msgs[op.uid] = (op.pe, op.tag)
+
+
 def _apply_lock_round(st: _State, w: Workload, op: WOp, out: ReferenceResult) -> None:
     # Each participant takes the lock, reads the counter on the home
     # PE, writes back +1, releases: a serialised increment per PE.
@@ -169,6 +181,8 @@ def execute_reference(w: Workload) -> ReferenceResult:
             _apply_collective(st, w, rnd[0], out)
         elif kind == "lock_inc":
             _apply_lock_round(st, w, rnd[0], out)
+        elif kind == "msg":
+            _apply_msg_round(st, w, rnd, out)
         else:
             _apply_p2p_round(st, w, rnd, out)
     for (pe, name), arr in st.mem.items():

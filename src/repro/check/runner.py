@@ -50,6 +50,8 @@ class RunObservation:
     heaps: Dict[Tuple[int, str], bytes] = field(default_factory=dict)
     gets: Dict[int, bytes] = field(default_factory=dict)
     atomics: Dict[int, int] = field(default_factory=dict)
+    #: ``op uid -> (source, tag)`` envelope of every two-sided receive.
+    msgs: Dict[int, Tuple[int, int]] = field(default_factory=dict)
     elapsed: float = 0.0
     start_time: float = 0.0
     protocol_counts: Dict[str, int] = field(default_factory=dict)
@@ -98,15 +100,34 @@ def _fault_plan(w: Workload, start: float):
     """A survivable, seed-deterministic plan: GDR-path flaps (scoped to
     the ``gdrP2P`` label so host-staged fallbacks stay up), an HCA
     stall, and a CQ error burst.  Every design must complete through
-    retry + failover — the oracles then prove nothing double-applied."""
+    retry + failover — the oracles then prove nothing double-applied.
+
+    Workloads with two-sided ops additionally get an unlabelled HCA
+    port flap: gdrP2P-scoped flaps never touch the UD host legs, so
+    without it UD's drop-and-resend path would go unexercised.  RC
+    rides it out via retransmit (retries at 0/5/15/35 µs under
+    ``FAULT_PARAMS``); UD via the msg layer's resend timer."""
     from repro.faults.plan import FaultPlan
 
-    return (
+    plan = (
         FaultPlan(seed=w.seed)
         .random_gdr_flaps(2, window=usec(400), down_for=usec(40), start=start + usec(5))
         .stall_hca(at=start + usec(60), duration=usec(50))
         .cq_error_burst(at=start + usec(10), duration=usec(300), max_errors=2)
     )
+    if w.has_msg_ops():
+        # Repeating so at least one window lands on a msg round; each
+        # 30 µs outage stays inside RC's 0/5/15/35 µs retry span.  The
+        # up-gap must exceed the longest single transfer or retries can
+        # never finish an attempt between windows: a 4 MiB host RC
+        # payload is ~600 µs on the wire, and faulted msg payloads are
+        # capped (MSG_FAULT_CAP) so even the slowest GDR leg fits.
+        # Device-resident legs additionally ride the msg engine's
+        # health failover onto host staging when a gdrP2P flap lands
+        # mid-transfer.
+        plan = plan.flap(at=start + usec(20), down_for=usec(30), node=0,
+                         kind="hca-port", every=usec(1500), count=8)
+    return plan
 
 
 # --------------------------------------------------------------- program
@@ -174,6 +195,40 @@ def _run_collective(w: Workload, ctx, bufs, op):
         raise ValueError(f"unknown collective {op.kind!r}")
 
 
+def _run_msg_round(w: Workload, ctx, bufs, rnd, out):
+    """Post this PE's sends and receives for a msg round, then wait for
+    all of them — both sides of every pair complete inside the round."""
+    waits = []
+    recvs = []
+    # Deferred receives post after the round's others (stable sort), so
+    # a twin pair's recv order crosses its send order — the shape that
+    # keeps tag matching honest (see WOp.defer_recv).
+    for op in sorted(rnd, key=lambda op: op.defer_recv):
+        if op.target == ctx.pe:
+            dst = bufs[op.buf].local + op.offset
+            ev = ctx.irecv(
+                dst,
+                op.nbytes,
+                src=None if op.any_src else op.pe,
+                tag=None if op.any_tag else op.tag,
+            )
+            waits.append(ev)
+            recvs.append((op.uid, ev))
+    for op in rnd:
+        if op.pe == ctx.pe:
+            alloc = ctx.cuda.malloc if op.local_device else ctx.cuda.malloc_host
+            src = alloc(op.nbytes, tag=f"op{op.uid}.msg-src")
+            src.write(payload(w.seed, op.uid, op.nbytes))
+            waits.append(
+                ctx.isend(src, op.nbytes, op.target, tag=op.tag,
+                          transport=op.transport or None)
+            )
+    if waits:
+        yield ctx.sim.all_of(waits)
+    for uid, ev in recvs:
+        out["msgs"][uid] = tuple(ev.value)
+
+
 def _run_lock_round(w: Workload, ctx, bufs, op):
     if ctx.pe not in op.parts:
         return
@@ -192,7 +247,7 @@ def _run_lock_round(w: Workload, ctx, bufs, op):
 
 def _make_program(w: Workload, corrupt_uid: Optional[int]):
     def program(ctx):
-        out = {"gets": {}, "atomics": {}, "offsets": {}}
+        out = {"gets": {}, "atomics": {}, "msgs": {}, "offsets": {}}
         bufs = {}
         for spec in w.buffers:
             sym = yield from ctx.shmalloc(spec.size, domain=Domain(spec.domain))
@@ -206,6 +261,9 @@ def _make_program(w: Workload, corrupt_uid: Optional[int]):
                 yield from _run_collective(w, ctx, bufs, rnd[0])
             elif head == "lock_inc":
                 yield from _run_lock_round(w, ctx, bufs, rnd[0])
+            elif head == "msg":
+                yield from _run_msg_round(w, ctx, bufs, rnd, out)
+                yield from ctx.quiet()
             else:
                 for op in rnd:
                     if op.pe != ctx.pe:
@@ -260,6 +318,7 @@ def run_workload(
             )
         obs.gets.update(res.results[pe]["gets"])
         obs.atomics.update(res.results[pe]["atomics"])
+        obs.msgs.update(res.results[pe]["msgs"])
     obs.protocol_counts = {p.value: c for p, c in job.runtime.protocol_counts.items()}
     obs.probe_series = {n: tuple(job.probe.series(n)) for n in job.probe.names()}
     obs.stats = job.sim.stats.as_dict()

@@ -100,6 +100,8 @@ def to_cli_command(w: Workload) -> str:
     )
     if w.faults:
         cmd += " --faults"
+    if w.has_msg_ops():
+        cmd += " --msg"
     return cmd
 
 

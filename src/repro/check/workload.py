@@ -74,6 +74,15 @@ LOCK_WORDS = 16
 #: bytes each.
 COLL_BLOCK = 1 * KiB
 
+#: Size cap for two-sided payloads in *faulted* workloads.  The msg
+#: fault plan repeats a 30 µs port flap every 1.5 ms, and the runner's
+#: last-chance retry (35 µs backoff) only saves a transfer that fits
+#: inside the ~1.47 ms up-gap on the slowest path — inter-socket PCIe
+#: P2P read at 247 MB/s, where 256 KiB takes ~1.06 ms.  Anything
+#: larger from (or into) device memory would straddle the next window
+#: and exhaust its retries by construction, not by bug.
+MSG_FAULT_CAP = 256 * KiB
+
 P2P_KINDS = (
     ("put", 26),
     ("get", 18),
@@ -119,6 +128,18 @@ class WOp:
     local_device: bool = False
     root: int = 0
     parts: Tuple[int, ...] = ()
+    # Two-sided ("msg") ops: one record describes the matched pair —
+    # PE ``pe`` sends to PE ``target``, which posts a receive into
+    # ``(buf, slot)`` with the given tag (or wildcards).
+    tag: int = 0
+    any_src: bool = False
+    any_tag: bool = False
+    transport: str = ""  # "" = route default (RC) | "ud"
+    # The receiver posts this op's receive *after* the round's other
+    # receives.  Paired with a same-sender twin op this crosses the
+    # recv-post order against the send order, so only tag matching —
+    # not queue position — can pair them correctly.
+    defer_recv: bool = False
 
     @property
     def offset(self) -> int:
@@ -165,9 +186,12 @@ class Workload:
         control flags excluded — this is a >= bound, not an equality)."""
         total = 0
         for op in self.all_ops():
-            if op.kind in ("put", "get", "put_nbi") and self.node_of(op.pe) != self.node_of(op.target):
+            if op.kind in ("put", "get", "put_nbi", "msg") and self.node_of(op.pe) != self.node_of(op.target):
                 total += op.nbytes
         return total
+
+    def has_msg_ops(self) -> bool:
+        return any(op.kind == "msg" for op in self.all_ops())
 
     def with_rounds(self, rounds) -> "Workload":
         return replace(self, rounds=tuple(tuple(r) for r in rounds if r))
@@ -340,6 +364,84 @@ class _Gen:
         nbytes = rng.randint(8, COLL_BLOCK)
         return [WOp(self.next_uid(), kind, nbytes=nbytes)]
 
+    def msg_round(self, cap: Optional[int] = None) -> List[WOp]:
+        """A round of matched two-sided sends (one :class:`WOp` is one
+        send/recv pair).  Validity: a PE receives at most one message
+        per round (wildcard matching stays unambiguous) and never sends
+        to itself; the destination cell is reserved like any write.
+        The one sanctioned exception is the *twin*: a second,
+        differently-tagged specific-tag send from the same source to
+        one receiver, with the first receive deferred — the shape that
+        makes tag matching observable (see :attr:`WOp.defer_recv`)."""
+        rng = self.rng
+        nops = rng.randint(1, max(1, min(3, self.npes - 1)))
+        receivers = set()
+        used_cells = set()
+        ops: List[WOp] = []
+        for _ in range(nops):
+            pe = rng.randrange(self.npes)
+            target = rng.randrange(self.npes)
+            if target == pe:
+                target = (target + 1) % self.npes
+            if target in receivers:
+                continue
+            nbytes = _draw_nbytes(rng, self.max_nbytes)
+            if cap is not None:
+                nbytes = min(nbytes, cap)
+            candidates = self._data_buffers(pe, target, nbytes)
+            if not candidates:
+                continue
+            spec = rng.choice(candidates)
+            nslots = spec.size // spec.slot_bytes
+            slot = rng.randrange(nslots)
+            if (spec.name, target, slot) in used_cells:
+                continue
+            local_device = rng.choice([False, True]) if self.design != "naive" else False
+            receivers.add(target)
+            used_cells.add((spec.name, target, slot))
+            ops.append(WOp(
+                self.next_uid(), "msg", pe=pe, target=target,
+                buf=spec.name, slot=slot, nbytes=min(nbytes, spec.slot_bytes),
+                local_device=local_device,
+                tag=rng.randrange(4),
+                any_src=rng.random() < 0.25,
+                any_tag=rng.random() < 0.25,
+                transport="ud" if rng.random() < 0.35 else "",
+            ))
+        # Twin: a second send to one existing receiver.  Both ops go
+        # specific-tag on RC (UD drop/resend could legally reorder the
+        # pair, which would let a broken matcher pair them right by
+        # luck), the tags differ, and the *first* op's receive posts
+        # last.  A tag-blind matcher then pairs crossed: payload and
+        # envelope both land on the wrong receive.
+        if ops and rng.random() < 0.5:
+            base = rng.choice(ops)
+            nbytes = _draw_nbytes(rng, self.max_nbytes)
+            if cap is not None:
+                nbytes = min(nbytes, cap)
+            candidates = self._data_buffers(base.pe, base.target, nbytes)
+            if candidates:
+                spec = rng.choice(candidates)
+                nslots = spec.size // spec.slot_bytes
+                slot = rng.randrange(nslots)
+                if (spec.name, base.target, slot) not in used_cells:
+                    used_cells.add((spec.name, base.target, slot))
+                    local_device = (
+                        rng.choice([False, True])
+                        if self.design != "naive" else False
+                    )
+                    i = ops.index(base)
+                    ops[i] = replace(base, any_src=False, any_tag=False,
+                                     transport="", defer_recv=True)
+                    ops.append(WOp(
+                        self.next_uid(), "msg", pe=base.pe, target=base.target,
+                        buf=spec.name, slot=slot,
+                        nbytes=min(nbytes, spec.slot_bytes),
+                        local_device=local_device,
+                        tag=(base.tag + 1 + rng.randrange(3)) % 4,
+                    ))
+        return ops
+
     def lock_round(self) -> Optional[List[WOp]]:
         rng = self.rng
         if self.lock_pairs_used >= LOCK_WORDS // 2:
@@ -365,13 +467,17 @@ def generate_workload(
     max_nbytes: int = 4 * MiB,
     nodes: Optional[int] = None,
     pes_per_node: Optional[int] = None,
+    msg: bool = False,
 ) -> Workload:
     """Deterministically generate one workload from ``seed``.
 
     ``ops`` is a target, not an exact count: rounds are drawn until at
     least ``ops`` operations exist.  ``design``/``nodes``/
     ``pes_per_node`` override the seeded draw when given (the corpus
-    uses this to pin coverage cells)."""
+    uses this to pin coverage cells).  ``msg=True`` mixes in two-sided
+    send/recv rounds; the extra rng draws happen strictly after the
+    classic stream, so ``msg=False`` seeds are byte-identical to
+    pre-msg builds."""
     rng = random.Random(seed)
     drawn_design = rng.choice(DESIGNS)
     drawn_topo = rng.choice(TOPOLOGIES)
@@ -392,6 +498,12 @@ def generate_workload(
             rnd = gen.lock_round()
         if rnd:
             rounds.append(rnd)
+    if msg:
+        cap = MSG_FAULT_CAP if faults else None
+        for _ in range(rng.randint(1, 3)):
+            rnd = gen.msg_round(cap=cap)
+            if rnd:
+                rounds.insert(rng.randrange(len(rounds) + 1), rnd)
     return Workload(
         seed=seed,
         design=design,

@@ -155,6 +155,27 @@ class HardwareParams:
     #: back onto it (returns to HEALTHY on a clean probe).
     health_cooldown: float = usec(300.0)
 
+    # ------------------------------------- two-sided messaging (repro.msg) / UD
+    #: Eager/rendezvous cutover for two-sided sends: at or below this,
+    #: the payload is copied through pre-registered bounce buffers and
+    #: the send completes at post time; above it, an RTS/CTS handshake
+    #: precedes a zero-copy transfer.  Swept by the crossover study.
+    msg_eager_threshold: int = 8 * 1024
+    #: Size of the RTS/CTS control messages (header + rendezvous cookie).
+    msg_rts_bytes: int = 64
+    #: UD datagram MTU — payloads are segmented into packets of at most
+    #: this size; each packet pays its own post + HCA overheads.
+    ud_mtu: int = 4096
+    #: CPU cost of posting one UD send WQE.  Cheaper than the RC post:
+    #: no QP connection state to consult, address handle is precomputed.
+    ud_post_overhead: float = usec(0.18)
+    #: Sender-side resend timer for UD messages: the msg layer (not the
+    #: transport — UD never retries) waits this long for missing
+    #: segments before re-posting them.
+    ud_resend_timeout: float = usec(50.0)
+    #: Resend rounds before the msg layer declares the peer unreachable.
+    ud_resend_limit: int = 5
+
     # ------------------------------------------------------ protocol thresholds
     #: Direct-GDR cutover for operations whose network leg *writes* GPU memory.
     gdr_put_threshold: int = 32 * 1024
@@ -179,6 +200,10 @@ class HardwareParams:
             raise ConfigurationError("pipeline_chunk and pipeline_depth must be positive")
         if self.rc_backoff < 1.0:
             raise ConfigurationError("rc_backoff must be >= 1 (delays may not shrink)")
+        if self.ud_mtu <= 0:
+            raise ConfigurationError("ud_mtu must be positive")
+        if self.ud_resend_limit < 1:
+            raise ConfigurationError("ud_resend_limit must be >= 1")
         if self.p2p_read_bw_inter_socket > self.p2p_read_bw_intra_socket:
             raise ConfigurationError("inter-socket P2P read cannot beat intra-socket")
         if self.gdr_get_threshold > self.gdr_put_threshold:

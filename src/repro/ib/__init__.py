@@ -15,6 +15,7 @@ timed PCIe + fabric hops, honouring the GPUDirect-RDMA rules:
 from repro.ib.cq import CompletionQueue, WorkCompletion, post_signaled
 from repro.ib.mr import MemoryRegion, RegistrationCache
 from repro.ib.rc import RCTransport
+from repro.ib.ud import UDReassembly, UDTransport
 from repro.ib.verbs import Endpoint, Verbs
 
 __all__ = [
@@ -23,6 +24,8 @@ __all__ = [
     "MemoryRegion",
     "RCTransport",
     "RegistrationCache",
+    "UDReassembly",
+    "UDTransport",
     "Verbs",
     "WorkCompletion",
     "post_signaled",

@@ -14,8 +14,14 @@ hardware:
   which is exactly the serialization one-sided puts eliminate;
 * eager path for small host-resident messages.
 
-This is deliberately *not* built on the OpenSHMEM runtime designs: it
-is the independent baseline the paper's Figure 12 compares against.
+The lowercase API (``isend``/``irecv``/``send``/``recv``) is
+deliberately *not* built on the OpenSHMEM runtime designs: it is the
+independent baseline the paper's Figure 12 compares against, and its
+timing is pinned.  The capitalised ``MPI_Send``/``MPI_Recv``/
+``MPI_Isend``/``MPI_Irecv`` surface is the **MPI-over-SHMEM shim**: it
+routes through the runtime's two-sided engine (:mod:`repro.msg`), so
+MPI programs exercise the same eager/rendezvous and RC/UD wire paths
+the protocol-crossover studies sweep.
 """
 
 from repro.mpi.core import MpiComm, MpiWorld

@@ -1,0 +1,18 @@
+"""Two-sided messaging over the simulated IB fabric.
+
+``repro.msg`` is the MPI-style matched send/recv layer the one-sided
+OpenSHMEM designs deliberately avoid — modelled here so the classic
+protocol tradeoffs (eager vs rendezvous, RC vs UD) can be measured in
+the same harness, Fig 6–9 style.  See DESIGN.md §12.
+
+* :class:`MsgEngine` — per-job matching engine: tag/source matching
+  with MPI wildcard semantics, eager copies through pre-registered
+  bounce buffers below ``msg_eager_threshold``, RTS/CTS rendezvous +
+  zero-copy RDMA above it, per-route RC or UD transport selection.
+* :data:`ANY_SOURCE` / :data:`ANY_TAG` — wildcard markers for
+  ``irecv``.
+"""
+
+from repro.msg.engine import ANY_SOURCE, ANY_TAG, MsgEngine
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "MsgEngine"]

@@ -148,8 +148,9 @@ def snapshot_job(job, elapsed: Optional[float] = None) -> MetricsSnapshot:
     Sections: ``job.*`` (elapsed/npes), ``engine.*`` (SimStats, incl.
     the reliability counters), ``probe.*`` (latency histograms, global
     and per-PE), ``link.*`` (per-direction bytes/transfers/MB/s),
-    ``protocol.*`` (route counts), ``health.*`` and ``faults.*`` (only
-    when a fault plan was attached).
+    ``protocol.*`` (route counts), ``msg.*`` (two-sided messaging,
+    only when the msg engine was used), ``health.*`` and ``faults.*``
+    (only when a fault plan was attached).
     """
     from repro.reporting.timeline import link_utilization
 
@@ -168,6 +169,14 @@ def snapshot_job(job, elapsed: Optional[float] = None) -> MetricsSnapshot:
         snap.put(f"link.{name}.avg_mbps", mbps)
     for proto, count in job.runtime.protocol_counts.items():
         snap.put(f"protocol.{proto.value}", count)
+    msg = getattr(job, "_msg", None)
+    if msg is not None:
+        snap.put("msg.messages", msg.messages)
+        snap.put("msg.eager", msg.eager)
+        snap.put("msg.rendezvous", msg.rendezvous)
+        snap.put("msg.ud_packets", job.sim.stats.ud_packets)
+        snap.put("msg.ud_drops", job.sim.stats.ud_drops)
+        snap.put("msg.ud_resends", job.sim.stats.ud_resends)
     health = getattr(job.runtime, "health", None)
     if health is not None:
         for row in health.snapshot():

@@ -270,6 +270,60 @@ _register("fig6a4", "intra-node H-D put small, four designs",
           make_fourway_figure("6(a)+", "put", H, G, large=False, nodes=1, target="near"))
 
 
+# Protocol-crossover studies (DESIGN.md §12): the two-sided msg layer
+# measured Fig 6-9 style.  Additive targets — the 22 paper targets
+# above stay bit-identical.
+
+XOVER_LATENCY_SIZES = message_sizes(64, 256 * KiB)
+XOVER_LATENCY_QUICK = [256, 4 * KiB, 32 * KiB, 256 * KiB]
+XOVER_RATE_SIZES = [4, 64, 1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB]
+XOVER_RATE_QUICK = [64, 4 * KiB, 64 * KiB]
+
+
+def run_xover1(quick=False):
+    from repro.bench.crossover import find_crossover, msg_latency_sweep
+    from repro.hardware.params import wilkes_params
+
+    base = wilkes_params()
+    sizes = XOVER_LATENCY_QUICK if quick else XOVER_LATENCY_SIZES
+    series = {}
+    for name, thr in (
+        ("eager-forced", base.pipeline_chunk),
+        ("rendezvous-forced", 0),
+        (f"threshold-{base.msg_eager_threshold}", None),
+    ):
+        series[name] = [p.usec for p in msg_latency_sweep(sizes, threshold=thr)]
+    xb = find_crossover(sizes, series["eager-forced"], series["rendezvous-forced"])
+    return format_series(
+        "bytes", series, sizes,
+        title=f"Xover 1 — two-sided send/recv latency (usec), crossover at {xb} B",
+        fmt="{:.2f}",
+    )
+
+
+def run_xover2(quick=False):
+    from repro.bench.crossover import message_rate_sweep
+
+    sizes = XOVER_RATE_QUICK if quick else XOVER_RATE_SIZES
+    series = {
+        transport: [p.msgs_per_sec for p in message_rate_sweep(sizes, transport=transport)]
+        for transport in ("rc", "ud")
+    }
+    return format_series(
+        "bytes", series, sizes,
+        title="Xover 2 — RC vs UD message rate (msgs/s)",
+        fmt="{:.0f}",
+    )
+
+
+_register("xover1", "eager vs rendezvous crossover",
+          "eager wins below the threshold, rendezvous above (MPICH2-over-IB lineage)",
+          run_xover1)
+_register("xover2", "RC vs UD message rate",
+          "UD's cheaper posts win small messages; segmentation loses the large ones",
+          run_xover2)
+
+
 def run_experiment(exp_id: str, quick: bool = False, **kwargs) -> str:
     """Run one registered experiment and return its rendered output."""
     exp = EXPERIMENTS[exp_id]

@@ -116,6 +116,7 @@ def dedup_key_for(kind: str, spec: Dict[str, Any], fingerprint: str) -> str:
             "nodes": spec.get("nodes"),
             "pes_per_node": spec.get("pes_per_node"),
             "max_bytes": spec.get("max_bytes"),
+            "msg": bool(spec.get("msg", False)),
         })
         return hashlib.sha256(f"check\x00{frame}\x00{fingerprint}".encode()).hexdigest()
     if kind == "trace":

@@ -773,6 +773,7 @@ class JobScheduler:
             spec.get("nodes"),
             spec.get("pes_per_node"),
             spec.get("max_bytes"),
+            bool(spec.get("msg", False)),
         )
         return rec
 

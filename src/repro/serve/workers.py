@@ -29,13 +29,15 @@ def run_check_seed(
     nodes: Optional[int] = None,
     pes_per_node: Optional[int] = None,
     max_bytes: Optional[int] = None,
+    msg: bool = False,
 ) -> Dict[str, Any]:
     """One differential-harness seed through the full oracle battery."""
     from repro.check.oracles import check_workload
     from repro.check.workload import generate_workload
 
     kwargs: Dict[str, Any] = dict(
-        ops=ops, design=design, faults=faults, nodes=nodes, pes_per_node=pes_per_node
+        ops=ops, design=design, faults=faults, nodes=nodes,
+        pes_per_node=pes_per_node, msg=msg,
     )
     if max_bytes is not None:
         kwargs["max_nbytes"] = max_bytes

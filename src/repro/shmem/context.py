@@ -201,6 +201,81 @@ class ShmemContext(TypedOps, LockOps, TeamOps):
         self.scratch.write(int(value).to_bytes(8, "little"))
         yield from self.putmem(dst, self.scratch, 8, pe)
 
+    # ------------------------------------------------- two-sided messaging
+    def isend(
+        self,
+        buf: Union[Ptr, SymPtr],
+        nbytes: int,
+        dst: int,
+        tag: int = 0,
+        transport: Optional[str] = None,
+    ) -> Event:
+        """Post a two-sided send (:mod:`repro.msg`); the returned event
+        fires when the send buffer is reusable.  Eager sends complete
+        immediately; rendezvous sends complete after the RTS/CTS
+        handshake and data transfer."""
+        self._enter()
+        try:
+            ev = self.job.msg.isend(
+                self.pe, self._as_local_ptr(buf), nbytes, dst, tag, transport
+            )
+        finally:
+            self._exit()
+        return ev
+
+    def irecv(
+        self,
+        buf: Union[Ptr, SymPtr],
+        nbytes: int,
+        src: Optional[int] = None,
+        tag: Optional[int] = None,
+    ) -> Event:
+        """Post a two-sided receive; the returned event fires on
+        delivery with value ``(source, tag)``.  ``src=None`` /
+        ``tag=None`` are the wildcards (``ANY_SOURCE`` / ``ANY_TAG``)."""
+        from repro.msg import ANY_SOURCE, ANY_TAG
+
+        self._enter()
+        try:
+            ev = self.job.msg.irecv(
+                self.pe,
+                self._as_local_ptr(buf),
+                nbytes,
+                ANY_SOURCE if src is None else src,
+                ANY_TAG if tag is None else tag,
+            )
+        finally:
+            self._exit()
+        return ev
+
+    def send(
+        self,
+        buf: Union[Ptr, SymPtr],
+        nbytes: int,
+        dst: int,
+        tag: int = 0,
+        transport: Optional[str] = None,
+    ) -> Generator:
+        """Blocking two-sided send (returns when the buffer is reusable)."""
+        ev = self.isend(buf, nbytes, dst, tag, transport)
+        yield self.job.sim.timeout(self.job.params.shmem_dispatch_overhead)
+        yield ev
+        return None
+
+    def recv(
+        self,
+        buf: Union[Ptr, SymPtr],
+        nbytes: int,
+        src: Optional[int] = None,
+        tag: Optional[int] = None,
+    ) -> Generator:
+        """Blocking two-sided receive; returns the matched
+        ``(source, tag)`` envelope."""
+        ev = self.irecv(buf, nbytes, src, tag)
+        yield self.job.sim.timeout(self.job.params.shmem_dispatch_overhead)
+        envelope = yield ev
+        return envelope
+
     # ---------------------------------------------------------- ordering
     def quiet(self) -> Generator:
         """``shmem_quiet``: all prior puts/atomics complete everywhere."""

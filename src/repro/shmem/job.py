@@ -80,6 +80,7 @@ class ShmemJob:
         self.contexts: List[ShmemContext] = [ShmemContext(self, pe) for pe in range(self.npes)]
         self.runtime = Runtime(self, design, service_thread=service_thread)
         self._mpi = None
+        self._msg = None
         self._ran = False
         #: Live fault injector when a FaultPlan is attached (else None).
         self.faults = None
@@ -100,6 +101,19 @@ class ShmemJob:
 
             self._mpi = MpiWorld(self)
         return self._mpi
+
+    @property
+    def msg(self):
+        """The two-sided messaging engine (created on first use).
+
+        Tag/source matching with eager/rendezvous protocols and
+        per-route RC/UD transport selection — see :mod:`repro.msg`.
+        """
+        if self._msg is None:
+            from repro.msg import MsgEngine
+
+            self._msg = MsgEngine(self)
+        return self._msg
 
     def cuda_of(self, pe: int) -> CudaContext:
         """The CUDA context of PE ``pe`` (created on first use)."""

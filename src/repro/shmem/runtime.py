@@ -397,6 +397,19 @@ class Runtime:
     def _leg_unhealthy(self, leg, label: str) -> bool:
         return leg.blocks(label) or not self.health.healthy(leg.name, self.sim.now)
 
+    def gpu_leg_unhealthy(self, pe: int, label: str) -> bool:
+        """Health probe for non-``Route`` users (the msg engine): is
+        ``pe``'s GPU PCIe crossing for this ``gdrP2P`` label currently
+        down or inside a degradation cooldown?  Always ``False`` when
+        no fault injector is attached — zero overhead on clean runs."""
+        if self.health is None:
+            return False
+        link = self._gpu_link(pe)
+        if link is None:
+            return False
+        leg = link.rev if label == "gdrP2Pread" else link.fwd
+        return self._leg_unhealthy(leg, label)
+
     def _failover_route(self, route: Route) -> Optional[Route]:
         """The next-best protocol when ``route``'s GDR path is unusable.
 

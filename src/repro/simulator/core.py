@@ -88,6 +88,13 @@ class SimStats:
     retransmission after an in-flight loss, and WRs that exhausted
     retry without ever holding the wire.  The span-parity oracle uses
     them to reconcile one-span-per-WR against one-event-per-hold.
+
+    The two-sided messaging layer (:mod:`repro.msg`) adds
+    ``msg_eager``/``msg_rendezvous`` (matched message pairs by
+    protocol), and the UD transport adds ``ud_packets`` (datagram
+    segments posted), ``ud_drops`` (segments lost to a link fault —
+    UD never retries at the transport level), and ``ud_resends``
+    (segments re-posted by the msg layer's resend timer).
     """
 
     __slots__ = (
@@ -107,6 +114,11 @@ class SimStats:
         "cq_errors",
         "rc_retx_holds",
         "rc_aborted_wrs",
+        "msg_eager",
+        "msg_rendezvous",
+        "ud_packets",
+        "ud_drops",
+        "ud_resends",
         "degraded_time",
     )
 

@@ -63,10 +63,39 @@ CORPUS = [
 ]
 
 
+#: Two-sided corpus: every runtime design (clean + faulted) plus the
+#: seeded draw, with ``msg=True`` mixing send/recv rounds into the
+#: classic stream.  Seeds chosen so each workload carries both eager
+#: and rendezvous messages and both RC and UD transports; the faulted
+#: rows arm the repeating port flap, so UD drop-and-resend and RC
+#: retransmit both run under the oracles.  Shrink failures with::
+#:
+#:     python -m repro check --seed <seed> --design <design> --msg [--faults]
+MSG_CORPUS = [
+    (501, "naive", False),
+    (507, "naive", True),
+    (500, "host-pipeline", False),
+    (504, "host-pipeline", True),
+    (503, "enhanced-gdr", False),
+    (501, "enhanced-gdr", True),
+    (504, "device-initiated", False),
+    (503, "device-initiated", True),
+    (500, None, False),
+    (504, None, True),
+]
+
+
 def _ids():
     return [
         f"seed{seed}-{design or 'drawn'}-{'faults' if faults else 'clean'}"
         for seed, design, faults in CORPUS
+    ]
+
+
+def _msg_ids():
+    return [
+        f"msg-seed{seed}-{design or 'drawn'}-{'faults' if faults else 'clean'}"
+        for seed, design, faults in MSG_CORPUS
     ]
 
 
@@ -81,6 +110,69 @@ def test_corpus_seed_passes_every_oracle(seed, design, faults):
     ref = execute_reference(w)
     for mode, obs in report.runs.items():
         assert obs.heaps == ref.heaps, f"{mode} heap mismatch on seed {seed}"
+
+
+@pytest.mark.parametrize("seed,design,faults", MSG_CORPUS, ids=_msg_ids())
+def test_msg_corpus_seed_passes_every_oracle(seed, design, faults):
+    w = generate_workload(seed, ops=10, design=design, faults=faults, msg=True)
+    assert w.has_msg_ops()
+    report = check_workload(w)
+    assert report.oracles_run == 9
+    assert report.passed, report.summary()
+    # Every receive observed the exact (source, tag) envelope the
+    # reference predicts, in every execution mode.
+    ref = execute_reference(w)
+    assert ref.msgs
+    for mode, obs in report.runs.items():
+        assert obs.msgs == ref.msgs, f"{mode} envelope mismatch on seed {seed}"
+        assert obs.heaps == ref.heaps, f"{mode} heap mismatch on seed {seed}"
+
+
+def test_msg_corpus_covers_protocol_transport_fault_matrix():
+    from repro.hardware.params import wilkes_params
+
+    eager_limit = min(wilkes_params().msg_eager_threshold, wilkes_params().pipeline_chunk)
+    cells = set()
+    designs = set()
+    for seed, design, faults in MSG_CORPUS:
+        w = generate_workload(seed, ops=10, design=design, faults=faults, msg=True)
+        designs.add(w.design)
+        for op in w.all_ops():
+            if op.kind != "msg":
+                continue
+            protocol = (
+                "eager" if op.nbytes <= eager_limit and not op.local_device
+                else "rendezvous"
+            )
+            transport = op.transport or "rc"
+            cells.add((protocol, transport, faults))
+            if op.any_src or op.any_tag:
+                cells.add(("wildcard", transport, faults))
+    assert designs == {"naive", "host-pipeline", "enhanced-gdr", "device-initiated"}
+    for protocol in ("eager", "rendezvous", "wildcard"):
+        for faults in (False, True):
+            assert any(c[0] == protocol and c[2] == faults for c in cells), (protocol, faults)
+    for transport in ("rc", "ud"):
+        for faults in (False, True):
+            assert any(c[1] == transport and c[2] == faults for c in cells), (transport, faults)
+
+
+def test_msg_oracle_catches_planted_matching_bug(monkeypatch):
+    """Mutation spot-check: make the matcher ignore tags (a classic
+    MPI-matching bug) and require the oracle battery to notice."""
+    from repro.msg.engine import MsgEngine
+
+    def tag_blind(send, recv):
+        return recv.peer in (-1, send.pe)  # drops the tag clause
+
+    monkeypatch.setattr(MsgEngine, "_compatible", staticmethod(tag_blind))
+    caught = 0
+    for seed, design, faults in MSG_CORPUS[:4]:
+        w = generate_workload(seed, ops=10, design=design, faults=faults, msg=True)
+        report = check_workload(w)
+        if not report.passed:
+            caught += 1
+    assert caught, "tag-blind matcher survived the whole corpus slice"
 
 
 def test_corpus_covers_the_design_domain_fault_matrix():

@@ -1,0 +1,98 @@
+"""Golden crossover curves for the two-sided protocol studies (PR 10).
+
+Pins the quick-config eager/rendezvous latency curves and the RC/UD
+message-rate curves to exact rendered values (the simulator is
+bit-deterministic, so two decimal places of µs is an exact golden, not
+a tolerance).  Beyond the numbers, the *shape* is the paper's claim:
+eager wins below the threshold, rendezvous above it, the default
+threshold tracks the lower envelope, and UD out-rates RC at small
+messages then loses badly once segmentation dominates.
+"""
+
+import pytest
+
+from repro.bench.crossover import (
+    crossover_report,
+    find_crossover,
+    message_rate_sweep,
+    msg_latency_sweep,
+)
+from repro.hardware.params import wilkes_params
+from repro.reporting.experiments import XOVER_LATENCY_QUICK, XOVER_RATE_QUICK
+
+#: Golden half-round-trip latencies (µs, rendered to 2 dp) for the
+#: quick size grid [256, 4 KiB, 32 KiB, 256 KiB] on wilkes params.
+GOLDEN_EAGER = ["2.47", "3.50", "11.16", "72.51"]
+GOLDEN_RENDEZVOUS = ["4.04", "4.64", "9.12", "44.98"]
+GOLDEN_DEFAULT = ["2.47", "3.50", "9.12", "44.98"]
+GOLDEN_CROSSOVER_BYTES = 32768
+
+#: Golden message rates (msgs/s, rendered to 0 dp) for [64, 4 KiB, 64 KiB].
+GOLDEN_RC_RATE = ["1162078", "663868", "89678"]
+GOLDEN_UD_RATE = ["1216875", "677933", "46270"]
+
+
+def _fmt_lat(points):
+    return [f"{p.usec:.2f}" for p in points]
+
+
+def _fmt_rate(points):
+    return [f"{p.msgs_per_sec:.0f}" for p in points]
+
+
+def test_golden_eager_rendezvous_curves():
+    p = wilkes_params()
+    eager = msg_latency_sweep(XOVER_LATENCY_QUICK, threshold=p.pipeline_chunk)
+    rdv = msg_latency_sweep(XOVER_LATENCY_QUICK, threshold=0)
+    assert _fmt_lat(eager) == GOLDEN_EAGER
+    assert _fmt_lat(rdv) == GOLDEN_RENDEZVOUS
+    got = find_crossover(
+        XOVER_LATENCY_QUICK, [pt.usec for pt in eager], [pt.usec for pt in rdv]
+    )
+    assert got == GOLDEN_CROSSOVER_BYTES
+
+
+def test_default_threshold_tracks_the_lower_envelope():
+    """With the default 8 KiB threshold the unforced curve must equal
+    eager below the threshold and rendezvous above it — the protocol
+    switch is what the tunable is *for*."""
+    p = wilkes_params()
+    dflt = msg_latency_sweep(XOVER_LATENCY_QUICK)
+    eager = msg_latency_sweep(XOVER_LATENCY_QUICK, threshold=p.pipeline_chunk)
+    rdv = msg_latency_sweep(XOVER_LATENCY_QUICK, threshold=0)
+    assert _fmt_lat(dflt) == GOLDEN_DEFAULT
+    for nbytes, d, e, r in zip(XOVER_LATENCY_QUICK, dflt, eager, rdv):
+        expect = e.usec if nbytes <= p.msg_eager_threshold else r.usec
+        assert d.usec == pytest.approx(expect, rel=1e-12), nbytes
+
+
+def test_golden_rc_ud_message_rates():
+    rc = message_rate_sweep(XOVER_RATE_QUICK)
+    ud = message_rate_sweep(XOVER_RATE_QUICK, transport="ud")
+    assert _fmt_rate(rc) == GOLDEN_RC_RATE
+    assert _fmt_rate(ud) == GOLDEN_UD_RATE
+    # Shape: UD's cheaper un-acked posts win at small sizes; RC's
+    # zero-copy write wins once UD pays per-MTU segmentation.
+    assert ud[0].msgs_per_sec > rc[0].msgs_per_sec
+    assert rc[-1].msgs_per_sec > 1.5 * ud[-1].msgs_per_sec
+
+
+def test_crossover_report_document_shape():
+    doc = crossover_report(
+        thresholds=[0, 8192],
+        transports=["rc", "ud"],
+        latency_sizes=XOVER_LATENCY_QUICK,
+        rate_sizes=XOVER_RATE_QUICK,
+    )
+    er = doc["eager_rendezvous"]
+    assert er["sizes"] == list(XOVER_LATENCY_QUICK)
+    assert er["crossover_bytes"] == GOLDEN_CROSSOVER_BYTES
+    assert er["default_threshold"] == wilkes_params().msg_eager_threshold
+    assert set(er["forced_usec"]) == {"eager", "rendezvous"}
+    assert set(er["threshold_usec"]) == {"0", "8192"}
+    # The threshold curves bracket the forced ones.
+    assert er["threshold_usec"]["0"] == er["forced_usec"]["rendezvous"]
+    ru = doc["rc_ud_rate"]
+    assert set(ru["msgs_per_sec"]) == {"rc", "ud"}
+    gap = ru["ud_over_rc"]
+    assert gap[0] > 1.0 and gap[-1] < 1.0  # the RC/UD trade, both ends
